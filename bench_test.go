@@ -1,0 +1,122 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§III–§IV).
+// Each benchmark regenerates its figure at a reduced scale per
+// iteration and reports the headline metric(s) the paper reports for
+// it, via b.ReportMetric:
+//
+//	power_w        mean power of the baseline datatype series
+//	swing_pct      input-induced (max−min)/max power swing
+//	runtime_us     mean iteration runtime (Fig. 1)
+//	energy_j       mean iteration energy (Fig. 2)
+//	corr           Pearson correlation (Fig. 8)
+//
+// The full-scale campaign (2048², 10 seeds — the paper's configuration)
+// is `go run ./cmd/figures`; these benches keep every figure's code
+// path exercised and timed under `go test -bench`.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/matrix"
+)
+
+// benchConfig is the reduced-scale configuration the benchmarks run:
+// large enough that trends are visible, small enough for -bench runs.
+func benchConfig() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Size = 256
+	cfg.Seeds = 2
+	cfg.SampleOutputs = 128
+	return cfg
+}
+
+// runFigure executes one experiment per benchmark iteration and reports
+// the FP16 series' swing and mean power.
+func runFigure(b *testing.B, id string) *experiments.FigureResult {
+	b.Helper()
+	exp, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig()
+	var fr *experiments.FigureResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		fr, err = experiments.Run(exp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cells := fr.Series[matrix.FP16]
+	b.ReportMetric(cells[0].PowerW, "power_w")
+	b.ReportMetric(100*experiments.PowerSwing(cells), "swing_pct")
+	return fr
+}
+
+func BenchmarkFig1Runtime(b *testing.B) {
+	fr := runFigure(b, "fig1")
+	b.ReportMetric(fr.Series[matrix.FP16][0].IterTimeS*1e6, "runtime_us")
+	b.ReportMetric(fr.Series[matrix.FP16T][0].IterTimeS*1e6, "runtime_tc_us")
+}
+
+func BenchmarkFig2Energy(b *testing.B) {
+	fr := runFigure(b, "fig2")
+	b.ReportMetric(fr.Series[matrix.FP16][0].EnergyPerIterJ, "energy_j")
+}
+
+func BenchmarkFig3aStddev(b *testing.B)   { runFigure(b, "fig3a") }
+func BenchmarkFig3bMean(b *testing.B)     { runFigure(b, "fig3b") }
+func BenchmarkFig3cValueSet(b *testing.B) { runFigure(b, "fig3c") }
+
+func BenchmarkFig4aBitFlips(b *testing.B) { runFigure(b, "fig4a") }
+func BenchmarkFig4bLSB(b *testing.B)      { runFigure(b, "fig4b") }
+func BenchmarkFig4cMSB(b *testing.B)      { runFigure(b, "fig4c") }
+
+func BenchmarkFig5aSortRows(b *testing.B)       { runFigure(b, "fig5a") }
+func BenchmarkFig5bSortAligned(b *testing.B)    { runFigure(b, "fig5b") }
+func BenchmarkFig5cSortCols(b *testing.B)       { runFigure(b, "fig5c") }
+func BenchmarkFig5dSortWithinRows(b *testing.B) { runFigure(b, "fig5d") }
+
+func BenchmarkFig6aSparsity(b *testing.B)          { runFigure(b, "fig6a") }
+func BenchmarkFig6bSparsityAfterSort(b *testing.B) { runFigure(b, "fig6b") }
+func BenchmarkFig6cZeroLSB(b *testing.B)           { runFigure(b, "fig6c") }
+func BenchmarkFig6dZeroMSB(b *testing.B)           { runFigure(b, "fig6d") }
+
+func BenchmarkFig7CrossGPU(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Size = 128
+	cfg.Seeds = 1
+	var r *experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunFig7(cfg, experiments.PaperDevices(cfg.Size))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the A100 sparsity swing as the representative metric.
+	cells := r.Results["A100-PCIe-40GB"]["fig6a"]
+	b.ReportMetric(100*experiments.PowerSwing(cells), "swing_pct")
+}
+
+func BenchmarkFig8Correlation(b *testing.B) {
+	cfg := benchConfig()
+	ids := []string{"fig3c", "fig4a", "fig6a"}
+	var fig8 *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var results []*experiments.FigureResult
+		for _, id := range ids {
+			exp, _ := experiments.Get(id)
+			fr, err := experiments.Run(exp, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, fr)
+		}
+		fig8 = experiments.BuildFig8(results)
+	}
+	b.ReportMetric(fig8.AlignmentCorr[matrix.FP16], "align_corr")
+	b.ReportMetric(fig8.HammingCorr[matrix.FP16], "hamming_corr")
+}

@@ -1,0 +1,128 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Figs. 1–8) and writes text tables plus CSV data under an
+// output directory. This is the repository's equivalent of re-running
+// the paper's full measurement campaign.
+//
+// Usage:
+//
+//	figures -out results            # full scale: 2048², 10 seeds (slow)
+//	figures -out results -size 1024 -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/matrix"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "results", "output directory")
+		size    = flag.Int("size", 2048, "square matrix dimension (paper: 2048)")
+		seeds   = flag.Int("seeds", 10, "seeds per configuration (paper: 10)")
+		samples = flag.Int("samples", 256, "sampled accumulator trajectories per run")
+		skip7   = flag.Bool("skip-fig7", false, "skip the cross-GPU generalization runs")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := experiments.Default()
+	cfg.Size = *size
+	cfg.Seeds = *seeds
+	cfg.SampleOutputs = *samples
+
+	var all []*experiments.FigureResult
+	var summary strings.Builder
+	fmt.Fprintf(&summary, "Input-Dependent Power Usage in GPUs — reproduction run\n")
+	fmt.Fprintf(&summary, "device=%s size=%d seeds=%d samples=%d\n\n",
+		cfg.Device.Name, cfg.Size, cfg.Seeds, cfg.SampleOutputs)
+
+	for _, exp := range experiments.Figures() {
+		start := time.Now()
+		fr, err := experiments.Run(exp, cfg)
+		if err != nil {
+			fatalf("%s: %v", exp.ID, err)
+		}
+		all = append(all, fr)
+
+		var text string
+		if exp.ID == "fig1" || exp.ID == "fig2" {
+			text = experiments.FormatRuntimeTable(fr)
+		} else {
+			text = experiments.FormatFigure(fr)
+		}
+		writeFile(*out, exp.ID+".txt", text)
+		var csv strings.Builder
+		if err := experiments.WriteCSV(&csv, fr); err != nil {
+			fatalf("%s: %v", exp.ID, err)
+		}
+		writeFile(*out, exp.ID+".csv", csv.String())
+
+		fmt.Fprintf(os.Stderr, "%-7s done in %v\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		summary.WriteString(text)
+		summary.WriteString("\n")
+	}
+
+	// Fig. 8: bit alignment and Hamming weight versus power across the
+	// whole corpus (excluding the runtime/energy panels).
+	fig8 := experiments.BuildFig8(all[2:])
+	writeFile(*out, "fig8.txt", experiments.FormatFig8(fig8))
+	var f8csv strings.Builder
+	if err := experiments.WriteFig8CSV(&f8csv, fig8); err != nil {
+		fatalf("fig8: %v", err)
+	}
+	writeFile(*out, "fig8.csv", f8csv.String())
+	summary.WriteString(experiments.FormatFig8(fig8))
+	summary.WriteString("\n")
+	fmt.Fprintln(os.Stderr, "fig8    done")
+
+	if !*skip7 {
+		start := time.Now()
+		f7cfg := cfg
+		// The paper replicates four experiments at FP16 across GPUs.
+		f7, err := experiments.RunFig7(f7cfg, experiments.PaperDevices(cfg.Size))
+		if err != nil {
+			fatalf("fig7: %v", err)
+		}
+		text := experiments.FormatFig7(f7)
+		writeFile(*out, "fig7.txt", text)
+		summary.WriteString(text)
+		fmt.Fprintf(os.Stderr, "fig7    done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// Headline: the largest input-induced swing per datatype across the
+	// sweep figures.
+	summary.WriteString("\nheadline swings (max over experiments of (max-min)/max per dtype):\n")
+	for _, dt := range matrix.DTypes {
+		best, bestID := 0.0, ""
+		for _, fr := range all[2:] {
+			if s := experiments.PowerSwing(fr.Series[dt]); s > best {
+				best, bestID = s, fr.Experiment.ID
+			}
+		}
+		fmt.Fprintf(&summary, "  %-7s %.1f%% (%s)\n", dt, best*100, bestID)
+	}
+
+	writeFile(*out, "summary.txt", summary.String())
+	fmt.Println(summary.String())
+}
+
+func writeFile(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatalf("writing %s: %v", name, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Input-Dependent
+// Power Usage in GPUs" (Gregersen, Patel, Choukse — SC 2024,
+// arXiv:2409.18324): a bit-accurate GPU GEMM simulator with an
+// activity-based power model, a DCGM-like telemetry layer, and a full
+// experiment harness that regenerates every figure of the paper's
+// evaluation.
+//
+// See README.md for the layout and quickstart, DESIGN.md for the system
+// inventory and the hardware-substitution rationale, and EXPERIMENTS.md
+// for paper-versus-measured trends per figure.
+//
+// The benchmarks in bench_test.go regenerate each figure at a reduced
+// scale (one per table/figure of the paper); cmd/figures runs the
+// full-scale campaign.
+package repro

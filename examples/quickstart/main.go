@@ -1,0 +1,55 @@
+// Quickstart: measure how input data changes GEMM power on a simulated
+// A100, exactly the paper's headline observation — same kernel, same
+// shapes, same runtime, different watts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/matrix"
+)
+
+func main() {
+	sim, err := core.NewSimulator(device.A100PCIe())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const size = 1024
+	dt := matrix.FP16
+	opts := core.DefaultOptions()
+	opts.SampleOutputs = 128
+
+	inputs := []string{
+		"gaussian(default)",                  // the paper's baseline
+		"gaussian(mean=500, std=1)",          // T2: large mean
+		"set(n=4, mean=0, std=210)",          // T3: few unique values
+		"constant(random)",                   // T4: maximally similar bits
+		"gaussian(default) | sort(rows, 100%)", // T8: sorted placement
+		"gaussian(default) | sparsify(50%)",  // T12: value sparsity
+		"gaussian(default) | zerolsb(8)",     // T14: bit-level sparsity
+	}
+
+	fmt.Printf("Input-dependent GEMM power on %s (%v, %dx%d)\n\n",
+		sim.Device().Name, dt, size, size)
+	fmt.Printf("%-40s %10s %12s %10s\n", "input pattern", "power (W)", "runtime (µs)", "vs base")
+
+	var base float64
+	for i, dsl := range inputs {
+		m, err := sim.MeasureDSL(dt, size, dsl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = m.AvgPowerW
+		}
+		fmt.Printf("%-40s %10.1f %12.1f %+9.1f%%\n",
+			dsl, m.AvgPowerW, m.IterTimeS*1e6, 100*(m.AvgPowerW-base)/base)
+	}
+
+	fmt.Println("\nNote the runtime column: the kernel does identical work for every")
+	fmt.Println("input, so all of the power change is input-dependent switching activity.")
+}

@@ -1,0 +1,166 @@
+package ablation
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+// ablCfg runs reduced-size sweeps with a small threadblock tile so the
+// simulated device sits at realistic utilization and component effects
+// clear the measurement noise.
+func ablCfg() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Size = 160
+	cfg.Seeds = 2
+	cfg.SampleOutputs = 64
+	cfg.Tile = kernels.TileConfig{BlockM: 32, BlockN: 32, BlockK: 32}
+	return cfg
+}
+
+func TestDisableZeroesComponents(t *testing.T) {
+	dev := device.A100PCIe()
+	ab := Disable(dev, Operand, Stream)
+	for dt, e := range ab.Energy {
+		if e.OperandPJPerToggle != 0 {
+			t.Errorf("%v: operand energy not zeroed", dt)
+		}
+		if e.MultPJPerPP == 0 {
+			t.Errorf("%v: mult energy should be untouched", dt)
+		}
+	}
+	if ab.StreamPJPerToggle != 0 {
+		t.Error("stream energy not zeroed")
+	}
+	// Original untouched.
+	if dev.Energy[matrix.FP16].OperandPJPerToggle == 0 || dev.StreamPJPerToggle == 0 {
+		t.Error("Disable mutated the original device")
+	}
+	if err := ab.Validate(); err != nil {
+		t.Errorf("ablated device should stay valid: %v", err)
+	}
+}
+
+func TestOnlyKeepsSelected(t *testing.T) {
+	dev := device.A100PCIe()
+	ab := Only(dev, Mult)
+	e := ab.Energy[matrix.FP32]
+	if e.MultPJPerPP == 0 {
+		t.Error("kept component zeroed")
+	}
+	if e.IssuePJ == 0 {
+		t.Error("issue is data-independent and must always be kept")
+	}
+	if e.OperandPJPerToggle != 0 || e.ProductPJPerToggle != 0 || e.AccumPJPerToggle != 0 {
+		t.Error("non-kept components should be zeroed")
+	}
+	if ab.StreamPJPerToggle != 0 {
+		t.Error("stream should be zeroed when not kept")
+	}
+}
+
+func TestStandardVariants(t *testing.T) {
+	vs := StandardVariants(device.A100PCIe())
+	if len(vs) != len(Components)+1 {
+		t.Fatalf("expected %d variants, got %d", len(Components)+1, len(vs))
+	}
+	if _, ok := vs["full"]; !ok {
+		t.Error("missing full variant")
+	}
+	if _, ok := vs["no-operand"]; !ok {
+		t.Error("missing no-operand variant")
+	}
+}
+
+// The T13 attribution: the Fig. 6b interior power peak exists because
+// operand/product/accum toggle terms compete with multiplier gating.
+// Removing the toggle terms must collapse the peak into a monotone
+// decrease; removing the multiplier term instead must keep power from
+// falling at high sparsity as steeply.
+func TestFig6bPeakCausedByToggleTerms(t *testing.T) {
+	exp, _ := experiments.Get("fig6b")
+	cfg := ablCfg()
+	dev := device.A100PCIe()
+	variants := map[string]*device.Device{
+		"full":       dev,
+		"no-toggles": Disable(dev, Operand, Product, Accum, Stream),
+	}
+	// FP16 shows the crispest peak at reduced scale (the narrow
+	// significand makes sorted neighbours nearly bit-identical, so the
+	// inserted zeros add the most contrast); FP32 needs the paper's
+	// full 2048² density for a prominent bump.
+	res, err := RunVariants(exp, cfg, matrix.FP16, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res["full"].Shape
+	noTog := res["no-toggles"].Shape
+	if !full.InteriorPeak {
+		t.Errorf("full model should show the Fig. 6b interior peak, got peak at %v", full.PeakX)
+	}
+	if noTog.InteriorPeak {
+		t.Errorf("without toggle terms the peak should collapse, got peak at %v", noTog.PeakX)
+	}
+	if noTog.Trend > -0.9 {
+		t.Errorf("without toggle terms sorted-sparsity should fall monotonically, Spearman=%v", noTog.Trend)
+	}
+}
+
+// The T12 attribution: general sparsity reduces power through both the
+// multiplier gating and the toggle reduction; with ONLY the multiplier
+// term kept, the trend must remain strongly decreasing.
+func TestFig6aSparsityDrivenByMultiplierGating(t *testing.T) {
+	exp, _ := experiments.Get("fig6a")
+	cfg := ablCfg()
+	dev := device.A100PCIe()
+	res, err := RunVariants(exp, cfg, matrix.FP32, map[string]*device.Device{
+		"only-mult": Only(dev, Mult),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["only-mult"].Shape.Trend > -0.9 {
+		t.Errorf("multiplier gating alone should reproduce the sparsity decrease, Spearman=%v",
+			res["only-mult"].Shape.Trend)
+	}
+}
+
+// The T4 attribution: the bit-flip sweep is driven by toggle terms;
+// with toggles disabled the sweep flattens dramatically.
+func TestFig4aDrivenByToggles(t *testing.T) {
+	exp, _ := experiments.Get("fig4a")
+	cfg := ablCfg()
+	dev := device.A100PCIe()
+	res, err := RunVariants(exp, cfg, matrix.FP16, map[string]*device.Device{
+		"full":       dev,
+		"no-toggles": Disable(dev, Operand, Product, Accum, Stream),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res["full"].Shape
+	noTog := res["no-toggles"].Shape
+	if noTog.Swing > full.Swing/2 {
+		t.Errorf("disabling toggles should at least halve the flip-sweep swing: full=%v ablated=%v",
+			full.Swing, noTog.Swing)
+	}
+}
+
+// The T1 sanity: ablations must not manufacture input-dependence where
+// the full model shows none (σ sweep stays flat in every variant).
+func TestFig3aFlatUnderAllVariants(t *testing.T) {
+	exp, _ := experiments.Get("fig3a")
+	cfg := ablCfg()
+	res, err := RunVariants(exp, cfg, matrix.FP16, StandardVariants(device.A100PCIe()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range res {
+		if r.Shape.Swing > 0.06 {
+			t.Errorf("%s: σ sweep swing %v should stay small", name, r.Shape.Swing)
+		}
+	}
+}

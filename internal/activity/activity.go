@@ -1,0 +1,450 @@
+// Package activity extracts the switching-activity profile of a GEMM
+// execution from its input matrices — the quantity the paper
+// hypothesizes GPU power actually depends on (§V: bit flips during
+// computation and the number of set bits).
+//
+// For D = A·B with A:(N,K) and B:(K,M) in operand layout, the per-lane
+// datapath of the kernel consumes, for output element (i,j), the stream
+// A[i,0..K-1] against B[0..K-1,j]. The total activity decomposes into:
+//
+//   - Operand toggles — bits flipped at the FMA/MMA input latches
+//     between consecutive k-iterations. Exact in O(NK+KM):
+//     Σ_{i,j,k} tog(A[i,k],A[i,k+1]) = M·Σ_{i,k} tog(A[i,k],A[i,k+1]),
+//     and symmetrically N·(column toggles of B).
+//   - Multiplier partial products — HW(sig(a))·HW(sig(b)) array cells
+//     active per MAC, with zero operands gating the array. Exact in
+//     O(NK+KM) because Σ_{i,j,k} g(a)h(b) = Σ_k (Σ_i g)(Σ_j h).
+//   - Stream toggles — bus activity of staging A and B tiles through
+//     DRAM/L2/shared memory, the row/column toggle sums scaled by the
+//     tile reuse factors of the CUTLASS-style tiling.
+//   - Product and accumulator toggles — register flips between
+//     consecutive products and partial sums. These depend on the actual
+//     arithmetic trajectory, so they are measured on a deterministic
+//     sample of output positions (exact dtype arithmetic along k) and
+//     scaled to the full output.
+//
+// The report also carries the paper's Fig. 8 statistics: mean bit
+// alignment between multiplied operand pairs and mean Hamming weights.
+package activity
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitops"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/softfloat"
+)
+
+// Config controls activity extraction.
+type Config struct {
+	// Tile is the threadblock tiling, which sets the stream reuse
+	// factors. Zero value means the dtype default.
+	Tile kernels.TileConfig
+	// SampleOutputs is the number of output positions whose product and
+	// accumulator trajectories are walked exactly. Zero means the
+	// default of 512. Samples are deterministic given Seed.
+	SampleOutputs int
+	// Seed drives sample-position selection. Experiments share a fixed
+	// seed so that configurations differ only in their inputs.
+	Seed uint64
+}
+
+// DefaultSampleOutputs is the default number of sampled accumulator
+// trajectories.
+const DefaultSampleOutputs = 512
+
+// Report is the switching-activity profile of one GEMM iteration.
+// Toggle and partial-product counts are totals over the whole iteration.
+type Report struct {
+	MACs int64
+
+	// Exact terms.
+	OperandToggles int64 // operand-latch bit flips, A-side + B-side
+	MultPPUnits    int64 // Σ HW(sig a)·HW(sig b) over all MACs
+	StreamToggles  int64 // memory-hierarchy bus bit flips incl. reuse
+
+	// Sampled terms, scaled to the full iteration.
+	ProductToggles float64 // multiplier output register bit flips
+	AccumToggles   float64 // accumulator register bit flips
+
+	// Fig. 8 statistics.
+	MeanAlignment float64 // mean bit alignment of multiplied pairs
+	MeanHammingA  float64 // mean Hamming weight per element of A
+	MeanHammingB  float64
+	NonZeroFrac   float64 // fraction of MACs with both operands non-zero
+}
+
+// PerMAC returns the report normalized per multiply-accumulate.
+type PerMAC struct {
+	OperandToggles float64
+	MultPPUnits    float64
+	StreamToggles  float64
+	ProductToggles float64
+	AccumToggles   float64
+}
+
+// PerMAC normalizes the totals by the MAC count.
+func (r *Report) PerMAC() PerMAC {
+	if r.MACs == 0 {
+		return PerMAC{}
+	}
+	n := float64(r.MACs)
+	return PerMAC{
+		OperandToggles: float64(r.OperandToggles) / n,
+		MultPPUnits:    float64(r.MultPPUnits) / n,
+		StreamToggles:  float64(r.StreamToggles) / n,
+		ProductToggles: r.ProductToggles / n,
+		AccumToggles:   r.AccumToggles / n,
+	}
+}
+
+// Analyze extracts the activity report for the problem. A and B must be
+// in operand layout (B already transposed if the experiment transposes
+// it).
+func Analyze(p *kernels.Problem, cfg Config) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tile == (kernels.TileConfig{}) {
+		cfg.Tile = p.Tile
+	}
+	if cfg.SampleOutputs <= 0 {
+		cfg.SampleOutputs = DefaultSampleOutputs
+	}
+
+	n, k, m := p.Dims()
+	r := &Report{MACs: p.MACs()}
+
+	var wg sync.WaitGroup
+	var aRowToggles, bColToggles int64
+	var ppUnits int64
+	var hwA, hwB float64
+	var zeroA, zeroB float64
+	sigA := make([]int64, k) // Σ_i HW(sig A[i,kk]) per k-slice
+	sigB := make([]int64, k) // Σ_j HW(sig B[kk,j]) per k-slice
+
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		aRowToggles = rowToggleSum(p.A)
+	}()
+	go func() {
+		defer wg.Done()
+		bColToggles = colToggleSum(p.B)
+	}()
+	go func() {
+		defer wg.Done()
+		sigSumsByCol(p.A, sigA)
+		hwA = p.A.MeanHammingWeight()
+		zeroA = 1 - p.A.NonZeroFraction()
+	}()
+	go func() {
+		defer wg.Done()
+		sigSumsByRow(p.B, sigB)
+		hwB = p.B.MeanHammingWeight()
+		zeroB = 1 - p.B.NonZeroFraction()
+	}()
+	wg.Wait()
+
+	for kk := 0; kk < k; kk++ {
+		ppUnits += sigA[kk] * sigB[kk]
+	}
+
+	r.OperandToggles = int64(m)*aRowToggles + int64(n)*bColToggles
+	r.MultPPUnits = ppUnits
+	r.MeanHammingA = hwA
+	r.MeanHammingB = hwB
+	// Independent placement approximation for the gating fraction; the
+	// sampled walk refines alignment but the zero fractions are exact.
+	r.NonZeroFrac = (1 - zeroA) * (1 - zeroB)
+
+	// Stream toggles: each A tile row panel is re-streamed once per
+	// column block of the output, each B panel once per row block.
+	reuseA := int64(ceilDiv(m, cfg.Tile.BlockN))
+	reuseB := int64(ceilDiv(n, cfg.Tile.BlockM))
+	r.StreamToggles = reuseA*aRowToggles + reuseB*bColToggles
+
+	sampleWalk(p, cfg, r)
+	return r, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// rowToggleSum returns Σ over rows of adjacent-element toggle counts,
+// parallel across row blocks.
+func rowToggleSum(mt *matrix.Matrix) int64 {
+	var total int64
+	parallelReduce(mt.Rows, func(lo, hi int) int64 {
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += bitops.ToggleSum32(mt.Row(i))
+		}
+		return sum
+	}, &total)
+	return total
+}
+
+// colToggleSum returns Σ over columns of adjacent-element toggle counts
+// along the row (k) direction, computed row-pair-wise for locality.
+func colToggleSum(mt *matrix.Matrix) int64 {
+	var total int64
+	if mt.Rows < 2 {
+		return 0
+	}
+	parallelReduce(mt.Rows-1, func(lo, hi int) int64 {
+		var sum int64
+		for i := lo; i < hi; i++ {
+			cur := mt.Row(i)
+			next := mt.Row(i + 1)
+			for j := range cur {
+				sum += int64(bitops.Toggle32(cur[j], next[j]))
+			}
+		}
+		return sum
+	}, &total)
+	return total
+}
+
+// sigSumsByCol accumulates Σ_i HW(sig(A[i,kk])) into out[kk].
+func sigSumsByCol(mt *matrix.Matrix, out []int64) {
+	sig := significandFn(mt.DType)
+	for i := 0; i < mt.Rows; i++ {
+		row := mt.Row(i)
+		for kk, b := range row {
+			out[kk] += int64(bitops.Popcount32(sig(b)))
+		}
+	}
+}
+
+// sigSumsByRow accumulates Σ_j HW(sig(B[kk,j])) into out[kk].
+func sigSumsByRow(mt *matrix.Matrix, out []int64) {
+	sig := significandFn(mt.DType)
+	for kk := 0; kk < mt.Rows; kk++ {
+		row := mt.Row(kk)
+		var sum int64
+		for _, b := range row {
+			sum += int64(bitops.Popcount32(sig(b)))
+		}
+		out[kk] = sum
+	}
+}
+
+// significandFn returns the per-dtype operand→multiplier-significand
+// mapping.
+func significandFn(dt matrix.DType) func(uint32) uint32 {
+	switch dt {
+	case matrix.FP32:
+		return softfloat.Significand32
+	case matrix.FP16, matrix.FP16T:
+		return func(b uint32) uint32 { return softfloat.Significand16(uint16(b)) }
+	case matrix.BF16T:
+		return func(b uint32) uint32 { return softfloat.SignificandBF16(uint16(b)) }
+	case matrix.INT8:
+		return func(b uint32) uint32 { return softfloat.I8Magnitude(int8(uint8(b))) }
+	default:
+		panic("activity: unknown dtype")
+	}
+}
+
+// parallelReduce splits [0,n) into per-worker blocks, sums f over each,
+// and stores the grand total.
+func parallelReduce(n int, f func(lo, hi int) int64, out *int64) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		*out = f(0, n)
+		return
+	}
+	partial := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = f(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, p := range partial {
+		total += p
+	}
+	*out = total
+}
+
+// sampleWalk measures product-register and accumulator-register toggle
+// trajectories on a deterministic sample of output positions, walking
+// the exact per-dtype arithmetic along k, and scales the totals to the
+// full output. It also accumulates the mean operand bit alignment over
+// the sampled multiplied pairs.
+func sampleWalk(p *kernels.Problem, cfg Config, r *Report) {
+	n, k, m := p.Dims()
+	total := n * m
+	samples := cfg.SampleOutputs
+	if samples > total {
+		samples = total
+	}
+	src := rng.Derive(cfg.Seed, "activity-samples")
+	positions := make([][2]int, samples)
+	if samples == total {
+		idx := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				positions[idx] = [2]int{i, j}
+				idx++
+			}
+		}
+	} else {
+		for s := range positions {
+			positions[s] = [2]int{src.Intn(n), src.Intn(m)}
+		}
+	}
+
+	width := p.DType.Width()
+	type walkResult struct {
+		prodTog, accTog int64
+		alignSum        float64
+	}
+	results := make([]walkResult, len(positions))
+
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(positions) {
+		workers = len(positions)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bCol := make([]uint32, k)
+			for s := range jobs {
+				i, j := positions[s][0], positions[s][1]
+				aRow := p.A.Row(i)
+				for kk := 0; kk < k; kk++ {
+					bCol[kk] = p.B.At(kk, j)
+				}
+				pt, at, al := walkLane(p.DType, aRow, bCol, width)
+				results[s] = walkResult{prodTog: pt, accTog: at, alignSum: al}
+			}
+		}()
+	}
+	for s := range positions {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+
+	var prodTog, accTog int64
+	var alignSum float64
+	for _, res := range results {
+		prodTog += res.prodTog
+		accTog += res.accTog
+		alignSum += res.alignSum
+	}
+	if len(positions) > 0 {
+		scale := float64(total) / float64(len(positions))
+		r.ProductToggles = float64(prodTog) * scale
+		r.AccumToggles = float64(accTog) * scale
+		r.MeanAlignment = alignSum / float64(int64(len(positions))*int64(k))
+	}
+}
+
+// walkLane runs one output lane's exact arithmetic and counts register
+// toggles plus operand alignment.
+func walkLane(dt matrix.DType, aRow, bCol []uint32, width int) (prodTog, accTog int64, alignSum float64) {
+	k := len(aRow)
+	switch dt {
+	case matrix.FP32:
+		var acc float32
+		var prevProd, prevAcc uint32
+		for kk := 0; kk < k; kk++ {
+			a := softfloat.F32FromBits(aRow[kk])
+			b := softfloat.F32FromBits(bCol[kk])
+			prod := a * b
+			pb := math.Float32bits(prod)
+			prodTog += int64(bitops.Toggle32(prevProd, pb))
+			prevProd = pb
+			acc += prod
+			ab := math.Float32bits(acc)
+			accTog += int64(bitops.Toggle32(prevAcc, ab))
+			prevAcc = ab
+			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+		}
+	case matrix.FP16:
+		var acc uint16
+		var prevProd, prevAcc uint16
+		for kk := 0; kk < k; kk++ {
+			prod := softfloat.Mul16(uint16(aRow[kk]), uint16(bCol[kk]))
+			prodTog += int64(bitops.Toggle16(prevProd, prod))
+			prevProd = prod
+			acc = softfloat.Add16(acc, prod)
+			accTog += int64(bitops.Toggle16(prevAcc, acc))
+			prevAcc = acc
+			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+		}
+	case matrix.FP16T:
+		var acc float32
+		var prevProd, prevAcc uint32
+		for kk := 0; kk < k; kk++ {
+			prod := softfloat.F16ToF32(uint16(aRow[kk])) * softfloat.F16ToF32(uint16(bCol[kk]))
+			pb := math.Float32bits(prod)
+			prodTog += int64(bitops.Toggle32(prevProd, pb))
+			prevProd = pb
+			acc += prod
+			ab := math.Float32bits(acc)
+			accTog += int64(bitops.Toggle32(prevAcc, ab))
+			prevAcc = ab
+			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+		}
+	case matrix.BF16T:
+		var acc float32
+		var prevProd, prevAcc uint32
+		for kk := 0; kk < k; kk++ {
+			prod := softfloat.BF16ToF32(uint16(aRow[kk])) * softfloat.BF16ToF32(uint16(bCol[kk]))
+			pb := math.Float32bits(prod)
+			prodTog += int64(bitops.Toggle32(prevProd, pb))
+			prevProd = pb
+			acc += prod
+			ab := math.Float32bits(acc)
+			accTog += int64(bitops.Toggle32(prevAcc, ab))
+			prevAcc = ab
+			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+		}
+	case matrix.INT8:
+		var acc int32
+		var prevProd, prevAcc uint32
+		for kk := 0; kk < k; kk++ {
+			prod := int32(int8(uint8(aRow[kk]))) * int32(int8(uint8(bCol[kk])))
+			pb := uint32(prod)
+			prodTog += int64(bitops.Toggle32(prevProd, pb))
+			prevProd = pb
+			acc += prod
+			ab := uint32(acc)
+			accTog += int64(bitops.Toggle32(prevAcc, ab))
+			prevAcc = ab
+			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+		}
+	default:
+		panic("activity: unknown dtype")
+	}
+	return prodTog, accTog, alignSum
+}

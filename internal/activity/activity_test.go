@@ -1,0 +1,372 @@
+package activity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitops"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/softfloat"
+)
+
+func gaussianProblem(dt matrix.DType, n, k, m int, seed uint64) *kernels.Problem {
+	a := matrix.New(dt, n, k)
+	b := matrix.New(dt, k, m)
+	std := matrix.DefaultStd(dt)
+	matrix.FillGaussian(a, rng.Derive(seed, "A"), 0, std)
+	matrix.FillGaussian(b, rng.Derive(seed, "B"), 0, std)
+	return kernels.NewProblem(dt, a, b)
+}
+
+// bruteForce computes operand toggles and multiplier partial-product
+// units by the O(NMK) definition, the oracle for the separable fast
+// path.
+func bruteForce(p *kernels.Problem) (operandToggles, ppUnits int64) {
+	n, k, m := p.Dims()
+	sig := significandFn(p.DType)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			for kk := 0; kk+1 < k; kk++ {
+				operandToggles += int64(bitops.Toggle32(p.A.At(i, kk), p.A.At(i, kk+1)))
+				operandToggles += int64(bitops.Toggle32(p.B.At(kk, j), p.B.At(kk+1, j)))
+			}
+			for kk := 0; kk < k; kk++ {
+				ha := int64(bitops.Popcount32(sig(p.A.At(i, kk))))
+				hb := int64(bitops.Popcount32(sig(p.B.At(kk, j))))
+				ppUnits += ha * hb
+			}
+		}
+	}
+	return operandToggles, ppUnits
+}
+
+func TestSeparableTermsMatchBruteForce(t *testing.T) {
+	for _, dt := range matrix.DTypes {
+		p := gaussianProblem(dt, 7, 9, 5, uint64(dt)+1)
+		r, err := Analyze(p, Config{SampleOutputs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTog, wantPP := bruteForce(p)
+		if r.OperandToggles != wantTog {
+			t.Errorf("%v: operand toggles = %d, brute force = %d", dt, r.OperandToggles, wantTog)
+		}
+		if r.MultPPUnits != wantPP {
+			t.Errorf("%v: PP units = %d, brute force = %d", dt, r.MultPPUnits, wantPP)
+		}
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	bad := kernels.NewProblem(matrix.FP32,
+		matrix.New(matrix.FP32, 4, 8), matrix.New(matrix.FP32, 9, 4))
+	if _, err := Analyze(bad, Config{}); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestZeroMatricesHaveZeroActivity(t *testing.T) {
+	for _, dt := range matrix.DTypes {
+		a := matrix.New(dt, 8, 16)
+		b := matrix.New(dt, 16, 8)
+		r, err := Analyze(kernels.NewProblem(dt, a, b), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OperandToggles != 0 || r.MultPPUnits != 0 || r.StreamToggles != 0 {
+			t.Errorf("%v: zero matrices should have zero exact activity: %+v", dt, r)
+		}
+		if r.ProductToggles != 0 || r.AccumToggles != 0 {
+			t.Errorf("%v: zero matrices should have zero sampled activity", dt)
+		}
+		if r.NonZeroFrac != 0 {
+			t.Errorf("%v: zero matrices have no non-zero MACs", dt)
+		}
+		if r.MeanAlignment != 1 {
+			t.Errorf("%v: all-zero operands are fully aligned, got %v", dt, r.MeanAlignment)
+		}
+	}
+}
+
+func TestConstantMatricesHaveNoToggles(t *testing.T) {
+	// A constant operand stream never flips the operand latches — the
+	// starting point of the paper's bit-similarity experiments.
+	for _, dt := range matrix.DTypes {
+		a := matrix.New(dt, 8, 16)
+		b := matrix.New(dt, 16, 8)
+		matrix.FillConstant(a, 3)
+		matrix.FillConstant(b, 5)
+		r, err := Analyze(kernels.NewProblem(dt, a, b), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OperandToggles != 0 {
+			t.Errorf("%v: constant matrices should not toggle operands", dt)
+		}
+		if r.MultPPUnits == 0 {
+			t.Errorf("%v: constant non-zero matrices still drive the multiplier", dt)
+		}
+		if r.NonZeroFrac != 1 {
+			t.Errorf("%v: NonZeroFrac = %v, want 1", dt, r.NonZeroFrac)
+		}
+	}
+}
+
+func TestRandomVsConstantActivityOrdering(t *testing.T) {
+	// T4 mechanism: random data toggles more than constant data.
+	for _, dt := range matrix.DTypes {
+		random := gaussianProblem(dt, 16, 32, 16, 42)
+		ca := matrix.New(dt, 16, 32)
+		cb := matrix.New(dt, 32, 16)
+		matrix.FillConstant(ca, 100)
+		matrix.FillConstant(cb, 50)
+		constant := kernels.NewProblem(dt, ca, cb)
+
+		rr, err := Analyze(random, Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := Analyze(constant, Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.OperandToggles <= rc.OperandToggles {
+			t.Errorf("%v: random should out-toggle constant", dt)
+		}
+		if rr.ProductToggles <= rc.ProductToggles {
+			t.Errorf("%v: random products should out-toggle constant products", dt)
+		}
+	}
+}
+
+func TestSortingReducesOperandToggles(t *testing.T) {
+	// T8 mechanism.
+	dt := matrix.FP16
+	base := gaussianProblem(dt, 32, 32, 32, 7)
+	sortedA := base.A.Clone()
+	sortedB := base.B.Clone()
+	matrix.SortIntoRows(sortedA, 1)
+	matrix.SortIntoRows(sortedB, 1)
+	sorted := kernels.NewProblem(dt, sortedA, sortedB)
+
+	rBase, err := Analyze(base, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSorted, err := Analyze(sorted, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSorted.OperandToggles >= rBase.OperandToggles {
+		t.Errorf("sorted operand toggles %d should be below random %d",
+			rSorted.OperandToggles, rBase.OperandToggles)
+	}
+}
+
+func TestSparsityReducesPPUnits(t *testing.T) {
+	// T12 mechanism: zero operands gate the multiplier array.
+	dt := matrix.FP32
+	base := gaussianProblem(dt, 16, 16, 16, 9)
+	sparseA := base.A.Clone()
+	sparseB := base.B.Clone()
+	matrix.Sparsify(sparseA, rng.New(1), 0.5)
+	matrix.Sparsify(sparseB, rng.New(2), 0.5)
+	sparse := kernels.NewProblem(dt, sparseA, sparseB)
+
+	rBase, _ := Analyze(base, Config{Seed: 3})
+	rSparse, err := Analyze(sparse, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSparse.MultPPUnits >= rBase.MultPPUnits {
+		t.Error("sparsity should reduce multiplier activity")
+	}
+	if rSparse.NonZeroFrac >= rBase.NonZeroFrac {
+		t.Error("sparsity should reduce the non-zero MAC fraction")
+	}
+	// (1-s)² scaling: expect roughly a quarter of the PP units.
+	ratio := float64(rSparse.MultPPUnits) / float64(rBase.MultPPUnits)
+	if ratio < 0.15 || ratio > 0.4 {
+		t.Errorf("PP ratio under 50%%+50%% sparsity = %v, want ≈0.25", ratio)
+	}
+}
+
+func TestMACsAndPerMAC(t *testing.T) {
+	p := gaussianProblem(matrix.FP32, 8, 16, 4, 11)
+	r, err := Analyze(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MACs != 8*16*4 {
+		t.Errorf("MACs = %d", r.MACs)
+	}
+	pm := r.PerMAC()
+	if pm.OperandToggles <= 0 || pm.MultPPUnits <= 0 {
+		t.Error("per-MAC rates should be positive for random input")
+	}
+	var empty Report
+	if empty.PerMAC() != (PerMAC{}) {
+		t.Error("zero-MAC report should normalize to zero")
+	}
+}
+
+func TestSampleAllPositionsWhenSmall(t *testing.T) {
+	// With SampleOutputs >= N·M the walk is exhaustive and exact.
+	p := gaussianProblem(matrix.INT8, 4, 8, 4, 13)
+	r1, err := Analyze(p, Config{SampleOutputs: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(p, Config{SampleOutputs: 10000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive sampling is seed-independent.
+	if r1.ProductToggles != r2.ProductToggles || r1.AccumToggles != r2.AccumToggles {
+		t.Error("exhaustive sampling should not depend on seed")
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	p := gaussianProblem(matrix.FP16T, 32, 16, 32, 17)
+	r1, _ := Analyze(p, Config{SampleOutputs: 64, Seed: 5})
+	r2, _ := Analyze(p, Config{SampleOutputs: 64, Seed: 5})
+	if r1.ProductToggles != r2.ProductToggles || r1.AccumToggles != r2.AccumToggles ||
+		r1.MeanAlignment != r2.MeanAlignment {
+		t.Error("same seed must give identical sampled terms")
+	}
+}
+
+func TestSampledTermsApproximateExhaustive(t *testing.T) {
+	p := gaussianProblem(matrix.FP32, 24, 32, 24, 19)
+	exact, err := Analyze(p, Config{SampleOutputs: 24 * 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Analyze(p, Config{SampleOutputs: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relProd := math.Abs(approx.ProductToggles-exact.ProductToggles) / exact.ProductToggles
+	relAcc := math.Abs(approx.AccumToggles-exact.AccumToggles) / exact.AccumToggles
+	if relProd > 0.1 || relAcc > 0.1 {
+		t.Errorf("sampled terms off by prod %.3f / acc %.3f (want <0.1)", relProd, relAcc)
+	}
+}
+
+func TestMeanAlignmentIdenticalOperands(t *testing.T) {
+	// A and B holding the same constant align perfectly.
+	dt := matrix.FP16
+	a := matrix.New(dt, 8, 8)
+	b := matrix.New(dt, 8, 8)
+	matrix.FillConstant(a, 7)
+	matrix.FillConstant(b, 7)
+	r, err := Analyze(kernels.NewProblem(dt, a, b), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanAlignment != 1 {
+		t.Errorf("identical constant operands: alignment = %v, want 1", r.MeanAlignment)
+	}
+}
+
+func TestMeanAlignmentOppositeOperands(t *testing.T) {
+	dt := matrix.FP16
+	a := matrix.New(dt, 8, 8)
+	b := matrix.New(dt, 8, 8)
+	matrix.FillConstantBits(a, 0xAAAA)
+	matrix.FillConstantBits(b, 0x5555)
+	r, err := Analyze(kernels.NewProblem(dt, a, b), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanAlignment != 0 {
+		t.Errorf("opposite operands: alignment = %v, want 0", r.MeanAlignment)
+	}
+}
+
+func TestStreamTogglesScaleWithReuse(t *testing.T) {
+	p := gaussianProblem(matrix.FP32, 16, 16, 16, 23)
+	small := Config{Tile: kernels.TileConfig{BlockM: 4, BlockN: 4, BlockK: 4}, SampleOutputs: 1}
+	large := Config{Tile: kernels.TileConfig{BlockM: 16, BlockN: 16, BlockK: 4}, SampleOutputs: 1}
+	rs, err := Analyze(p, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Analyze(p, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.StreamToggles <= rl.StreamToggles {
+		t.Error("smaller tiles re-stream operands more and must toggle buses more")
+	}
+	// Reuse factor 16/4=4 on both operands: exactly 4x.
+	if rs.StreamToggles != 4*rl.StreamToggles {
+		t.Errorf("stream toggles %d vs %d: want exact 4x", rs.StreamToggles, rl.StreamToggles)
+	}
+}
+
+func TestHammingWeightsReported(t *testing.T) {
+	p := gaussianProblem(matrix.FP32, 8, 8, 8, 29)
+	r, err := Analyze(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanHammingA <= 0 || r.MeanHammingA > 32 {
+		t.Errorf("MeanHammingA = %v out of range", r.MeanHammingA)
+	}
+	if math.Abs(r.MeanHammingA-p.A.MeanHammingWeight()) > 1e-12 {
+		t.Error("MeanHammingA should match matrix stat")
+	}
+}
+
+func TestFP16SampledWalkMatchesKernelArithmetic(t *testing.T) {
+	// The accumulator trajectory must follow the exact FP16 FMA chain.
+	dt := matrix.FP16
+	a := matrix.New(dt, 1, 8)
+	b := matrix.New(dt, 8, 1)
+	matrix.FillGaussian(a, rng.New(1), 0, 1)
+	matrix.FillGaussian(b, rng.New(2), 0, 1)
+	var acc, prevAcc, prevProd uint16
+	var wantProd, wantAcc int64
+	for kk := 0; kk < 8; kk++ {
+		prod := softfloat.Mul16(uint16(a.At(0, kk)), uint16(b.At(kk, 0)))
+		wantProd += int64(bitops.Toggle16(prevProd, prod))
+		prevProd = prod
+		acc = softfloat.Add16(acc, prod)
+		wantAcc += int64(bitops.Toggle16(prevAcc, acc))
+		prevAcc = acc
+	}
+	r, err := Analyze(kernels.NewProblem(dt, a, b), Config{SampleOutputs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(r.ProductToggles) != wantProd {
+		t.Errorf("product toggles = %v, want %d", r.ProductToggles, wantProd)
+	}
+	if int64(r.AccumToggles) != wantAcc {
+		t.Errorf("accum toggles = %v, want %d", r.AccumToggles, wantAcc)
+	}
+}
+
+func BenchmarkAnalyze256FP16(b *testing.B) {
+	p := gaussianProblem(matrix.FP16, 256, 256, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(p, Config{SampleOutputs: 128, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyze1024FP32(b *testing.B) {
+	p := gaussianProblem(matrix.FP32, 1024, 1024, 1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(p, Config{SampleOutputs: 256, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

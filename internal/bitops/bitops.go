@@ -1,0 +1,153 @@
+// Package bitops provides the bit-level primitives underlying the
+// input-dependent power model: population counts (Hamming weights),
+// toggle distances (XOR popcounts between consecutive datapath values),
+// and bit-alignment scores between operand pairs.
+//
+// The paper's causal hypothesis (§V) is that GPU power draw depends on
+// inputs through the number of bit flips during computation and on how
+// many bits are set. Everything in this package is a pure function over
+// raw bit patterns; datatype interpretation (sign/exponent/mantissa
+// splits) lives in internal/softfloat.
+package bitops
+
+import "math/bits"
+
+// Popcount8 returns the number of set bits in the low 8 bits of v.
+func Popcount8(v uint8) int { return bits.OnesCount8(v) }
+
+// Popcount16 returns the number of set bits in the low 16 bits of v.
+func Popcount16(v uint16) int { return bits.OnesCount16(v) }
+
+// Popcount32 returns the number of set bits in v.
+func Popcount32(v uint32) int { return bits.OnesCount32(v) }
+
+// Popcount64 returns the number of set bits in v.
+func Popcount64(v uint64) int { return bits.OnesCount64(v) }
+
+// Toggle8 returns the number of bit positions that differ between a and
+// b, i.e. the switching activity a bus lane of width 8 experiences when
+// its value transitions from a to b.
+func Toggle8(a, b uint8) int { return bits.OnesCount8(a ^ b) }
+
+// Toggle16 is Toggle8 for 16-bit lanes.
+func Toggle16(a, b uint16) int { return bits.OnesCount16(a ^ b) }
+
+// Toggle32 is Toggle8 for 32-bit lanes.
+func Toggle32(a, b uint32) int { return bits.OnesCount32(a ^ b) }
+
+// Toggle64 is Toggle8 for 64-bit lanes.
+func Toggle64(a, b uint64) int { return bits.OnesCount64(a ^ b) }
+
+// Alignment returns the bit alignment between two values over the given
+// width in bits, as defined in the paper (§IV-F): 0 if every bit is
+// opposite, 1 if every bit is the same.
+func Alignment(a, b uint32, width int) float64 {
+	if width <= 0 || width > 32 {
+		panic("bitops: alignment width out of range")
+	}
+	mask := uint32(1)<<uint(width) - 1
+	if width == 32 {
+		mask = ^uint32(0)
+	}
+	diff := (a ^ b) & mask
+	return 1 - float64(bits.OnesCount32(diff))/float64(width)
+}
+
+// ToggleSum32 returns the total switching activity of a 32-bit lane that
+// streams the values in vs in order: the sum of XOR popcounts between
+// each consecutive pair. An empty or single-element stream has zero
+// activity.
+func ToggleSum32(vs []uint32) int64 {
+	var sum int64
+	for i := 1; i < len(vs); i++ {
+		sum += int64(bits.OnesCount32(vs[i-1] ^ vs[i]))
+	}
+	return sum
+}
+
+// ToggleSumMasked32 is ToggleSum32 restricted to the bit positions set
+// in mask. It models a bus where only some lanes are monitored (for
+// example the mantissa sub-bus of a floating-point operand collector).
+func ToggleSumMasked32(vs []uint32, mask uint32) int64 {
+	var sum int64
+	for i := 1; i < len(vs); i++ {
+		sum += int64(bits.OnesCount32((vs[i-1] ^ vs[i]) & mask))
+	}
+	return sum
+}
+
+// PopcountSum32 returns the total Hamming weight of the stream.
+func PopcountSum32(vs []uint32) int64 {
+	var sum int64
+	for _, v := range vs {
+		sum += int64(bits.OnesCount32(v))
+	}
+	return sum
+}
+
+// MeanHamming returns the average Hamming weight of the stream over the
+// given lane width. It returns 0 for an empty stream.
+func MeanHamming(vs []uint32, width int) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	mask := uint32(1)<<uint(width) - 1
+	if width >= 32 {
+		mask = ^uint32(0)
+	}
+	var sum int64
+	for _, v := range vs {
+		sum += int64(bits.OnesCount32(v & mask))
+	}
+	return float64(sum) / float64(len(vs))
+}
+
+// MeanAlignment returns the average bit alignment between paired
+// elements of a and b over the given width. The two slices must have
+// equal length; it returns 0 for empty input.
+func MeanAlignment(a, b []uint32, width int) float64 {
+	if len(a) != len(b) {
+		panic("bitops: MeanAlignment length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a {
+		sum += Alignment(a[i], b[i], width)
+	}
+	return sum / float64(len(a))
+}
+
+// ReverseBits reverses the low width bits of v (higher bits are
+// discarded). Used by tests to construct adversarial patterns.
+func ReverseBits(v uint32, width int) uint32 {
+	var out uint32
+	for i := 0; i < width; i++ {
+		out <<= 1
+		out |= (v >> uint(i)) & 1
+	}
+	return out
+}
+
+// LowMask returns a mask with the low n bits set (n clamped to [0,32]).
+func LowMask(n int) uint32 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return uint32(1)<<uint(n) - 1
+}
+
+// HighMask returns a mask with the high n bits of a width-bit lane set.
+func HighMask(n, width int) uint32 {
+	if n <= 0 {
+		return 0
+	}
+	if n > width {
+		n = width
+	}
+	return LowMask(width) &^ LowMask(width-n)
+}

@@ -1,0 +1,240 @@
+package bitops
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopcounts(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{0xFF, 8},
+		{0xFFFF, 16},
+		{0xFFFFFFFF, 32},
+		{0xAAAAAAAA, 16},
+		{0x80000001, 2},
+	}
+	for _, c := range cases {
+		if got := Popcount32(c.v); got != c.want {
+			t.Errorf("Popcount32(%#x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if Popcount8(0xF0) != 4 {
+		t.Error("Popcount8(0xF0) != 4")
+	}
+	if Popcount16(0x0F0F) != 8 {
+		t.Error("Popcount16(0x0F0F) != 8")
+	}
+	if Popcount64(0xFFFFFFFFFFFFFFFF) != 64 {
+		t.Error("Popcount64(all ones) != 64")
+	}
+}
+
+func TestToggle(t *testing.T) {
+	if Toggle32(0, 0xFFFFFFFF) != 32 {
+		t.Error("full toggle should be 32")
+	}
+	if Toggle32(0xDEADBEEF, 0xDEADBEEF) != 0 {
+		t.Error("self toggle should be 0")
+	}
+	if Toggle8(0x0F, 0xF0) != 8 {
+		t.Error("Toggle8 opposite nibbles should be 8")
+	}
+	if Toggle16(0x00FF, 0x0FF0) != 8 {
+		t.Error("Toggle16(0x00FF,0x0FF0) should be 8")
+	}
+	if Toggle64(0, 1) != 1 {
+		t.Error("Toggle64(0,1) should be 1")
+	}
+}
+
+func TestToggleSymmetric(t *testing.T) {
+	f := func(a, b uint32) bool { return Toggle32(a, b) == Toggle32(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToggleTriangleInequality(t *testing.T) {
+	// Hamming distance is a metric: d(a,c) <= d(a,b) + d(b,c).
+	f := func(a, b, c uint32) bool {
+		return Toggle32(a, c) <= Toggle32(a, b)+Toggle32(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	if got := Alignment(0, 0, 32); got != 1 {
+		t.Errorf("identical values: alignment = %v, want 1", got)
+	}
+	if got := Alignment(0, 0xFFFFFFFF, 32); got != 0 {
+		t.Errorf("opposite values: alignment = %v, want 0", got)
+	}
+	if got := Alignment(0x0F, 0x00, 8); got != 0.5 {
+		t.Errorf("half-different 8-bit: alignment = %v, want 0.5", got)
+	}
+	// Width restricts which bits are compared.
+	if got := Alignment(0xFF00, 0x0000, 8); got != 1 {
+		t.Errorf("high bits outside width must be ignored: got %v", got)
+	}
+}
+
+func TestAlignmentBounds(t *testing.T) {
+	f := func(a, b uint32) bool {
+		al := Alignment(a, b, 32)
+		return al >= 0 && al <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignmentPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Alignment width %d: expected panic", w)
+				}
+			}()
+			Alignment(1, 2, w)
+		}()
+	}
+}
+
+func TestToggleSum32(t *testing.T) {
+	if ToggleSum32(nil) != 0 {
+		t.Error("empty stream should have zero activity")
+	}
+	if ToggleSum32([]uint32{42}) != 0 {
+		t.Error("single-element stream should have zero activity")
+	}
+	got := ToggleSum32([]uint32{0, 1, 3, 3})
+	// 0^1=1 bit, 1^3=1 bit, 3^3=0 bits.
+	if got != 2 {
+		t.Errorf("ToggleSum32 = %d, want 2", got)
+	}
+	// Constant stream: no toggles regardless of value.
+	if ToggleSum32([]uint32{7, 7, 7, 7, 7}) != 0 {
+		t.Error("constant stream must have zero toggles")
+	}
+}
+
+func TestToggleSumMasked32(t *testing.T) {
+	vs := []uint32{0x00, 0xFF, 0x00}
+	if got := ToggleSumMasked32(vs, 0x0F); got != 8 {
+		t.Errorf("masked toggle sum = %d, want 8", got)
+	}
+	if got := ToggleSumMasked32(vs, 0x00); got != 0 {
+		t.Errorf("zero mask toggle sum = %d, want 0", got)
+	}
+	full := ToggleSum32(vs)
+	if got := ToggleSumMasked32(vs, ^uint32(0)); got != full {
+		t.Errorf("full mask = %d, want %d", got, full)
+	}
+}
+
+func TestPopcountSum32(t *testing.T) {
+	if PopcountSum32(nil) != 0 {
+		t.Error("empty popcount sum should be 0")
+	}
+	if got := PopcountSum32([]uint32{1, 3, 7}); got != 6 {
+		t.Errorf("PopcountSum32 = %d, want 6", got)
+	}
+}
+
+func TestMeanHamming(t *testing.T) {
+	if MeanHamming(nil, 32) != 0 {
+		t.Error("empty mean hamming should be 0")
+	}
+	got := MeanHamming([]uint32{0x0F, 0xF0}, 8)
+	if got != 4 {
+		t.Errorf("MeanHamming = %v, want 4", got)
+	}
+	// Width masks high bits.
+	got = MeanHamming([]uint32{0xFFFF}, 8)
+	if got != 8 {
+		t.Errorf("MeanHamming width-masked = %v, want 8", got)
+	}
+}
+
+func TestMeanAlignment(t *testing.T) {
+	a := []uint32{0x00, 0xFF}
+	b := []uint32{0x00, 0x00}
+	got := MeanAlignment(a, b, 8)
+	if got != 0.5 {
+		t.Errorf("MeanAlignment = %v, want 0.5", got)
+	}
+	if MeanAlignment(nil, nil, 8) != 0 {
+		t.Error("empty MeanAlignment should be 0")
+	}
+}
+
+func TestMeanAlignmentMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	MeanAlignment([]uint32{1}, []uint32{1, 2}, 8)
+}
+
+func TestReverseBits(t *testing.T) {
+	if got := ReverseBits(0b0001, 4); got != 0b1000 {
+		t.Errorf("ReverseBits(0b0001,4) = %#b, want 0b1000", got)
+	}
+	if got := ReverseBits(0x1, 32); got != 0x80000000 {
+		t.Errorf("ReverseBits(1,32) = %#x", got)
+	}
+	// Involution property.
+	f := func(v uint32) bool {
+		return ReverseBits(ReverseBits(v, 32), 32) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMasks(t *testing.T) {
+	if LowMask(0) != 0 || LowMask(-3) != 0 {
+		t.Error("LowMask of non-positive should be 0")
+	}
+	if LowMask(8) != 0xFF {
+		t.Error("LowMask(8) != 0xFF")
+	}
+	if LowMask(32) != 0xFFFFFFFF || LowMask(40) != 0xFFFFFFFF {
+		t.Error("LowMask(>=32) should saturate")
+	}
+	if HighMask(4, 16) != 0xF000 {
+		t.Errorf("HighMask(4,16) = %#x, want 0xF000", HighMask(4, 16))
+	}
+	if HighMask(0, 16) != 0 {
+		t.Error("HighMask(0,·) should be 0")
+	}
+	if HighMask(20, 16) != 0xFFFF {
+		t.Error("HighMask should clamp n to width")
+	}
+	// Low and high masks partition the lane.
+	for n := 0; n <= 16; n++ {
+		lo, hi := LowMask(16-n), HighMask(n, 16)
+		if lo^hi != 0xFFFF || lo&hi != 0 {
+			t.Errorf("masks do not partition at n=%d: lo=%#x hi=%#x", n, lo, hi)
+		}
+	}
+}
+
+func TestToggleMatchesStdlib(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return Toggle32(a, b) == bits.OnesCount32(a^b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package device defines the GPU models the reproduction simulates.
+//
+// The paper measures an NVIDIA A100 PCIe (primary testbed, §III) and
+// generalizes on an H100 SXM, a V100 SXM2, and a Quadro RTX 6000
+// (§IV-E). Because this reproduction has no GPU hardware, each device is
+// described by the parameters that determine (a) how fast a CUTLASS-like
+// GEMM runs on it and (b) how its power decomposes into static,
+// data-independent dynamic, and data-dependent (toggle/Hamming-weight)
+// components. The per-event energy coefficients are the knobs of the
+// switched-capacitance power model in internal/power; they are
+// calibrated so the A100 reproduces the paper's reported behaviour
+// (near-TDP GEMM power, FP16-T the most power-hungry setup, and a
+// ~38 % input-dependent swing).
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// EnergyCoeffs holds the per-event switched-capacitance energies, in
+// picojoules, for one datatype's datapath on a device.
+type EnergyCoeffs struct {
+	// IssuePJ is the data-independent energy per MAC: instruction
+	// issue, scheduling, clocking of the pipeline. It does not vary
+	// with operand values, which is why runtime and a floor of power
+	// are input-independent.
+	IssuePJ float64
+	// OperandPJPerToggle is the energy per toggled bit on the operand
+	// delivery path (register operand collectors and input latches of
+	// the FMA/MMA units) between consecutive k-iterations.
+	OperandPJPerToggle float64
+	// MultPJPerPP is the energy per partial-product unit in the
+	// multiplier array, where the unit count for one MAC is
+	// HW(significand(a))·HW(significand(b)).
+	MultPJPerPP float64
+	// ProductPJPerToggle is the energy per toggled bit in the
+	// multiplier output register between consecutive products.
+	ProductPJPerToggle float64
+	// AccumPJPerToggle is the energy per toggled bit in the
+	// accumulator register between consecutive partial sums.
+	AccumPJPerToggle float64
+}
+
+// Dims returns a short human-readable summary of the coefficient set.
+func (e EnergyCoeffs) String() string {
+	return fmt.Sprintf("issue=%.2fpJ op=%.3f mult=%.4f prod=%.3f acc=%.3f",
+		e.IssuePJ, e.OperandPJPerToggle, e.MultPJPerPP, e.ProductPJPerToggle, e.AccumPJPerToggle)
+}
+
+// Thermal describes the device's steady-state thermal behaviour: the
+// simple resistance model T = ambient + P·RthermalCPerW with throttling
+// above ThrottleTempC.
+type Thermal struct {
+	AmbientC      float64
+	RThermalCPerW float64
+	ThrottleTempC float64
+}
+
+// SteadyTempC returns the steady-state temperature at the given power.
+func (t Thermal) SteadyTempC(powerW float64) float64 {
+	return t.AmbientC + powerW*t.RThermalCPerW
+}
+
+// ThrottlePowerW returns the sustained power at which the device reaches
+// its throttle temperature.
+func (t Thermal) ThrottlePowerW() float64 {
+	return (t.ThrottleTempC - t.AmbientC) / t.RThermalCPerW
+}
+
+// Device describes one simulated GPU.
+type Device struct {
+	Name         string
+	Architecture string
+	// SMCount is the number of streaming multiprocessors; GEMM
+	// threadblocks are scheduled onto SMs in waves, and the wave
+	// quantization determines utilization (and therefore sustained
+	// power) at a given problem size.
+	SMCount int
+	// TDPWatts is the board power limit; sustained power is capped here
+	// by the power governor.
+	TDPWatts float64
+	// IdleWatts is the static floor: leakage, HBM refresh, fans, VRM.
+	IdleWatts float64
+	MemoryType string
+	// MemBWGBs is peak memory bandwidth, used by the streaming-energy
+	// term and the roofline check.
+	MemBWGBs float64
+	// PeakMACs maps each datatype setup to the device's peak
+	// multiply-accumulate rate in GMAC/s (half the usual "FLOPS"
+	// figure). FP16T uses tensor cores; the others use the SIMT
+	// pipelines, matching the paper's four setups.
+	PeakMACs map[matrix.DType]float64
+	// KernelEfficiency is the fraction of peak a well-tuned CUTLASS
+	// kernel sustains at full occupancy.
+	KernelEfficiency float64
+	// Energy maps each datatype setup to its per-event energies.
+	Energy map[matrix.DType]EnergyCoeffs
+	// StreamPJPerToggle is the per-bit-toggle energy of moving operand
+	// tiles through DRAM/L2/shared memory, scaled by tile reuse.
+	StreamPJPerToggle float64
+	// LaunchOverheadS is the per-iteration host-side gap between
+	// kernel launches; it sets the DCGM busy fraction below 100 %.
+	LaunchOverheadS float64
+	Thermal         Thermal
+}
+
+// Validate checks internal consistency of a device description.
+func (d *Device) Validate() error {
+	if d.SMCount <= 0 {
+		return fmt.Errorf("device %s: SMCount must be positive", d.Name)
+	}
+	if d.TDPWatts <= d.IdleWatts {
+		return fmt.Errorf("device %s: TDP must exceed idle power", d.Name)
+	}
+	if d.KernelEfficiency <= 0 || d.KernelEfficiency > 1 {
+		return fmt.Errorf("device %s: kernel efficiency must be in (0,1]", d.Name)
+	}
+	for _, dt := range matrix.DTypes {
+		if d.PeakMACs[dt] <= 0 {
+			return fmt.Errorf("device %s: missing peak rate for %v", d.Name, dt)
+		}
+		if _, ok := d.Energy[dt]; !ok {
+			return fmt.Errorf("device %s: missing energy coefficients for %v", d.Name, dt)
+		}
+	}
+	if d.Thermal.RThermalCPerW <= 0 {
+		return fmt.Errorf("device %s: thermal resistance must be positive", d.Name)
+	}
+	if d.Thermal.ThrottleTempC <= d.Thermal.AmbientC {
+		return fmt.Errorf("device %s: throttle temperature must exceed ambient", d.Name)
+	}
+	return nil
+}
+
+// SMMACRate returns the per-SM sustained MAC rate for a datatype in
+// MAC/s, including kernel efficiency.
+func (d *Device) SMMACRate(dt matrix.DType) float64 {
+	return d.PeakMACs[dt] * 1e9 * d.KernelEfficiency / float64(d.SMCount)
+}

@@ -1,0 +1,226 @@
+package device
+
+import "repro/internal/matrix"
+
+// The preset devices mirror the paper's testbeds (§III, §IV-E):
+//
+//	A100 PCIe 40GB  — primary testbed, Azure VM, TDP 300 W
+//	H100 80GB HBM3  — local cluster, TDP 700 W
+//	V100 SXM2 32GB  — Chameleon cloud, TDP 300 W
+//	Quadro RTX 6000 — Chameleon cloud, TDP 260 W (throttles at 2048²)
+//
+// Peak MAC rates are the published dense-math numbers for each part
+// (half the marketing FLOPS). FP16-T uses tensor cores; FP32, FP16 and
+// INT8 (DP4A) use the SIMT pipelines — the paper's four setups.
+//
+// The A100 energy coefficients are the calibration anchor. They were
+// chosen so that, at the paper's operating point (2048³ GEMM, Gaussian
+// inputs, ~0.79 wave-quantized utilization on 108 SMs):
+//
+//   - every datatype runs well below the 300 W TDP (the paper picked
+//     2048 as the largest power of two that did not throttle),
+//   - FP16-T is the most power-hungry setup (T7),
+//   - the all-zero input floor sits ≈40 % below the random-input power
+//     (the paper's headline "almost 40 %" swing), and
+//   - per-MAC energies land in the 2–26 pJ range architecture papers
+//     report for 7 nm datapaths.
+//
+// Other devices reuse the A100 coefficient shape scaled by a process
+// factor (energyScale): 4 nm H100 ≈ 0.65×, 12 nm V100 ≈ 2.5×, 12 nm
+// Turing RTX 6000 ≈ 2.0× — the V100 factor is chosen so its FP16 GEMM
+// runs hot but clear of the thermal limiter at 2048², matching the
+// paper's observation that only the RTX 6000 throttled.
+
+// a100Energy is the calibration anchor coefficient table.
+var a100Energy = map[matrix.DType]EnergyCoeffs{
+	matrix.FP32: {
+		IssuePJ:            12.0,
+		OperandPJPerToggle: 0.25,
+		MultPJPerPP:        0.025,
+		ProductPJPerToggle: 0.06,
+		AccumPJPerToggle:   0.06,
+	},
+	matrix.FP16: {
+		IssuePJ:            3.7,
+		OperandPJPerToggle: 0.10,
+		MultPJPerPP:        0.022,
+		ProductPJPerToggle: 0.04,
+		AccumPJPerToggle:   0.04,
+	},
+	matrix.FP16T: {
+		IssuePJ:            0.85,
+		OperandPJPerToggle: 0.040,
+		MultPJPerPP:        0.009,
+		ProductPJPerToggle: 0.008,
+		AccumPJPerToggle:   0.008,
+	},
+	matrix.INT8: {
+		IssuePJ:            4.2,
+		OperandPJPerToggle: 0.12,
+		MultPJPerPP:        0.050,
+		ProductPJPerToggle: 0.030,
+		AccumPJPerToggle:   0.030,
+	},
+	// BF16 tensor cores share the FP16-T datapath coefficients; the
+	// power difference emerges from the activity (8-bit significands
+	// drive ~(9/12)² of the partial products).
+	matrix.BF16T: {
+		IssuePJ:            0.85,
+		OperandPJPerToggle: 0.040,
+		MultPJPerPP:        0.009,
+		ProductPJPerToggle: 0.008,
+		AccumPJPerToggle:   0.008,
+	},
+}
+
+func scaleEnergy(base map[matrix.DType]EnergyCoeffs, f float64) map[matrix.DType]EnergyCoeffs {
+	out := make(map[matrix.DType]EnergyCoeffs, len(base))
+	for dt, e := range base {
+		out[dt] = EnergyCoeffs{
+			IssuePJ:            e.IssuePJ * f,
+			OperandPJPerToggle: e.OperandPJPerToggle * f,
+			MultPJPerPP:        e.MultPJPerPP * f,
+			ProductPJPerToggle: e.ProductPJPerToggle * f,
+			AccumPJPerToggle:   e.AccumPJPerToggle * f,
+		}
+	}
+	return out
+}
+
+// A100PCIe returns the paper's primary testbed: NVIDIA A100 PCIe,
+// Ampere, 300 W TDP (§III).
+func A100PCIe() *Device {
+	return &Device{
+		Name:         "A100-PCIe-40GB",
+		Architecture: "Ampere",
+		SMCount:      108,
+		TDPWatts:     300,
+		IdleWatts:    55,
+		MemoryType:   "HBM2e",
+		MemBWGBs:     1555,
+		PeakMACs: map[matrix.DType]float64{
+			matrix.FP32:  9750,   // 19.5 TFLOPS
+			matrix.FP16:  39000,  // 78 TFLOPS (SIMT half2)
+			matrix.FP16T: 156000, // 312 TFLOPS dense tensor core
+			matrix.INT8:  39000,  // 78 TOPS DP4A
+			matrix.BF16T: 156000, // 312 TFLOPS dense tensor core
+		},
+		KernelEfficiency:  0.88,
+		Energy:            scaleEnergy(a100Energy, 1.0),
+		StreamPJPerToggle: 1.2,
+		LaunchOverheadS:   3e-6,
+		Thermal: Thermal{
+			AmbientC:      30,
+			RThermalCPerW: 0.155, // throttle point above TDP: A100 is TDP-governed
+			ThrottleTempC: 83,
+		},
+	}
+}
+
+// H100SXM returns the paper's generalization H100: NVIDIA H100 80GB
+// HBM3, Hopper, 700 W TDP (§IV-E).
+func H100SXM() *Device {
+	return &Device{
+		Name:         "H100-SXM5-80GB",
+		Architecture: "Hopper",
+		SMCount:      132,
+		TDPWatts:     700,
+		IdleWatts:    80,
+		MemoryType:   "HBM3",
+		MemBWGBs:     3350,
+		PeakMACs: map[matrix.DType]float64{
+			matrix.FP32:  33500,  // 67 TFLOPS
+			matrix.FP16:  67000,  // 134 TFLOPS SIMT
+			matrix.FP16T: 495000, // 990 TFLOPS dense tensor core
+			matrix.INT8:  134000, // 268 TOPS DP4A
+			matrix.BF16T: 495000, // 990 TFLOPS dense tensor core
+		},
+		KernelEfficiency:  0.88,
+		Energy:            scaleEnergy(a100Energy, 0.65),
+		StreamPJPerToggle: 0.9,
+		LaunchOverheadS:   3e-6,
+		Thermal: Thermal{
+			AmbientC:      30,
+			RThermalCPerW: 0.075,
+			ThrottleTempC: 83,
+		},
+	}
+}
+
+// V100SXM2 returns the paper's generalization V100: NVIDIA Tesla
+// V100-SXM2-32GB, Volta, 300 W TDP, Chameleon cloud (§IV-E).
+func V100SXM2() *Device {
+	return &Device{
+		Name:         "V100-SXM2-32GB",
+		Architecture: "Volta",
+		SMCount:      80,
+		TDPWatts:     300,
+		IdleWatts:    45,
+		MemoryType:   "HBM2",
+		MemBWGBs:     900,
+		PeakMACs: map[matrix.DType]float64{
+			matrix.FP32:  7850,  // 15.7 TFLOPS
+			matrix.FP16:  15700, // 31.4 TFLOPS
+			matrix.FP16T: 62500, // 125 TFLOPS tensor core
+			matrix.INT8:  31400, // 62.8 TOPS DP4A
+			matrix.BF16T: 62500, // Volta has no BF16; modelled at the FP16 tensor rate
+		},
+		KernelEfficiency:  0.88,
+		Energy:            scaleEnergy(a100Energy, 2.5),
+		StreamPJPerToggle: 1.6,
+		LaunchOverheadS:   4e-6,
+		Thermal: Thermal{
+			AmbientC:      30,
+			RThermalCPerW: 0.22,
+			ThrottleTempC: 83,
+		},
+	}
+}
+
+// RTX6000 returns the paper's generalization Quadro RTX 6000 24GB,
+// Turing, 260 W TDP, GDDR6 (§IV-E). The paper notes it throttled at
+// 2048² and was therefore measured at 512², and that its power changes
+// are less prominent (oldest part, GDDR6, lower TDP); the blower-cooled
+// workstation thermal resistance here reproduces both.
+func RTX6000() *Device {
+	return &Device{
+		Name:         "QuadroRTX6000-24GB",
+		Architecture: "Turing",
+		SMCount:      72,
+		TDPWatts:     260,
+		IdleWatts:    55,
+		MemoryType:   "GDDR6",
+		MemBWGBs:     672,
+		PeakMACs: map[matrix.DType]float64{
+			matrix.FP32:  8150,  // 16.3 TFLOPS
+			matrix.FP16:  16300, // 32.6 TFLOPS
+			matrix.FP16T: 65250, // 130.5 TFLOPS tensor core
+			matrix.INT8:  32600, // 65.2 TOPS DP4A
+			matrix.BF16T: 65250, // Turing has no BF16; modelled at the FP16 tensor rate
+		},
+		KernelEfficiency:  0.88,
+		Energy:            scaleEnergy(a100Energy, 2.0),
+		StreamPJPerToggle: 1.8,
+		LaunchOverheadS:   5e-6,
+		Thermal: Thermal{
+			AmbientC:      30,
+			RThermalCPerW: 0.32, // blower cooler: throttles at 2048² GEMM load
+			ThrottleTempC: 83,
+		},
+	}
+}
+
+// All returns the four preset devices in the paper's Fig. 7 order.
+func All() []*Device {
+	return []*Device{V100SXM2(), A100PCIe(), H100SXM(), RTX6000()}
+}
+
+// ByName returns the preset with the given name, or nil.
+func ByName(name string) *Device {
+	for _, d := range All() {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}

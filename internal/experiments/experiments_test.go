@@ -1,0 +1,541 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/stats"
+)
+
+// Quick-scale figure results are shared across tests: each experiment
+// runs once per test binary invocation.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*FigureResult{}
+)
+
+func quickResult(t *testing.T, id string) *FigureResult {
+	t.Helper()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if fr, ok := cache[id]; ok {
+		return fr
+	}
+	exp, ok := Get(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	fr, err := Run(exp, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache[id] = fr
+	return fr
+}
+
+// powers extracts the mean power series of a datatype.
+func powers(fr *FigureResult, dt matrix.DType) []float64 {
+	cells := fr.Series[dt]
+	out := make([]float64, len(cells))
+	for i, c := range cells {
+		out[i] = c.PowerW
+	}
+	return out
+}
+
+func xs(fr *FigureResult, dt matrix.DType) []float64 {
+	cells := fr.Series[dt]
+	out := make([]float64, len(cells))
+	for i, c := range cells {
+		out[i] = c.X
+	}
+	return out
+}
+
+var fpDTypes = []matrix.DType{matrix.FP32, matrix.FP16, matrix.FP16T}
+
+func TestFiguresCatalog(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 16 {
+		t.Fatalf("expected 16 single-device figure panels, got %d", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.ID == "" || f.Title == "" || f.Takeaway == "" || len(f.Points) == 0 {
+			t.Errorf("incomplete experiment definition %+v", f.ID)
+		}
+		if seen[f.ID] {
+			t.Errorf("duplicate experiment ID %s", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	if _, ok := Get("fig6b"); !ok {
+		t.Error("Get should find fig6b")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get should reject unknown IDs")
+	}
+}
+
+func TestRunRejectsEmptyExperiment(t *testing.T) {
+	if _, err := Run(Experiment{ID: "x"}, Quick()); err == nil {
+		t.Error("expected error for empty experiment")
+	}
+}
+
+func TestFig1RuntimeOrdering(t *testing.T) {
+	fr := quickResult(t, "fig1")
+	get := func(dt matrix.DType) float64 { return fr.Series[dt][0].IterTimeS }
+	// Fig. 1: FP32 slowest; FP16-T fastest (tensor cores); FP16 and
+	// INT8 between.
+	if !(get(matrix.FP32) > get(matrix.FP16) && get(matrix.FP16) > get(matrix.FP16T)) {
+		t.Errorf("runtime ordering wrong: FP32=%v FP16=%v FP16T=%v",
+			get(matrix.FP32), get(matrix.FP16), get(matrix.FP16T))
+	}
+	if get(matrix.INT8) >= get(matrix.FP32) {
+		t.Error("INT8 should be faster than FP32")
+	}
+	// Error bars a magnitude smaller than the values.
+	for _, dt := range matrix.DTypes {
+		c := fr.Series[dt][0]
+		if c.IterTimeErrS > c.IterTimeS/10 {
+			t.Errorf("%v: runtime error bar %v too large vs %v", dt, c.IterTimeErrS, c.IterTimeS)
+		}
+	}
+}
+
+func TestFig2EnergyTracksRuntime(t *testing.T) {
+	// The paper notes identical patterns between iteration runtime and
+	// energy across datatypes (power is similar, so energy ∝ runtime).
+	fr := quickResult(t, "fig2")
+	var times, energies []float64
+	for _, dt := range matrix.DTypes {
+		times = append(times, fr.Series[dt][0].IterTimeS)
+		energies = append(energies, fr.Series[dt][0].EnergyPerIterJ)
+	}
+	if r := stats.Pearson(times, energies); r < 0.99 {
+		t.Errorf("energy should track runtime across dtypes: r = %v", r)
+	}
+}
+
+func TestFig3aStddevFlat(t *testing.T) {
+	// T1: σ does not significantly impact power for FP datatypes.
+	fr := quickResult(t, "fig3a")
+	for _, dt := range fpDTypes {
+		ps := powers(fr, dt)
+		lo, hi := stats.MinMax(ps)
+		rel := (hi - lo) / hi
+		// "Flat" relative to the dynamic range: compare against the
+		// swing the same datatype shows on the bit-flip experiment.
+		if rel > 0.05 {
+			t.Errorf("%v: σ sweep swing %.1f%% should be small", dt, rel*100)
+		}
+	}
+}
+
+func TestFig3bMeanReducesFPPower(t *testing.T) {
+	// T2: larger means reduce power for FP datatypes.
+	fr := quickResult(t, "fig3b")
+	for _, dt := range fpDTypes {
+		ps := powers(fr, dt)
+		if ps[len(ps)-1] >= ps[0] {
+			t.Errorf("%v: power at mean=1024 (%v) should be below mean=0 (%v)",
+				dt, ps[len(ps)-1], ps[0])
+		}
+		// The sweep need not be strictly monotone (means that sit on
+		// binade boundaries bump power locally), but large means must
+		// clearly beat small ones on average.
+		half := len(ps) / 2
+		if stats.Mean(ps[half:]) >= stats.Mean(ps[:half]) {
+			t.Errorf("%v: large-mean half should average below small-mean half: %v", dt, ps)
+		}
+	}
+}
+
+func TestFig3cValueSetIncreasesPower(t *testing.T) {
+	// T3: small value sets decrease power; power grows with set size.
+	fr := quickResult(t, "fig3c")
+	for _, dt := range matrix.DTypes {
+		ps := powers(fr, dt)
+		if ps[0] >= ps[len(ps)-1] {
+			t.Errorf("%v: n=1 power (%v) should be below n=1024 power (%v)",
+				dt, ps[0], ps[len(ps)-1])
+		}
+		if rho := stats.Spearman(xs(fr, dt), ps); rho < 0.6 {
+			t.Errorf("%v: set-size sweep should trend upward, Spearman=%v", dt, rho)
+		}
+	}
+}
+
+func TestFig4aBitFlipsIncreasePower(t *testing.T) {
+	// T4: similar bits use less power.
+	fr := quickResult(t, "fig4a")
+	for _, dt := range matrix.DTypes {
+		ps := powers(fr, dt)
+		if ps[0] >= ps[len(ps)-1] {
+			t.Errorf("%v: p=0 power should be below p=0.5 power", dt)
+		}
+		if rho := stats.Spearman(xs(fr, dt), ps); rho < 0.8 {
+			t.Errorf("%v: flip sweep should rise, Spearman=%v", dt, rho)
+		}
+	}
+}
+
+func TestFig4bLSBRandomizationIncreasesPower(t *testing.T) {
+	// T5.
+	fr := quickResult(t, "fig4b")
+	for _, dt := range matrix.DTypes {
+		ps := powers(fr, dt)
+		if ps[0] >= ps[len(ps)-1] {
+			t.Errorf("%v: power should rise with randomized LSBs", dt)
+		}
+		if rho := stats.Spearman(xs(fr, dt), ps); rho < 0.8 {
+			t.Errorf("%v: LSB sweep Spearman=%v", dt, rho)
+		}
+	}
+}
+
+func TestFig4cMSBRandomizationIncreasesPower(t *testing.T) {
+	// T6.
+	fr := quickResult(t, "fig4c")
+	for _, dt := range matrix.DTypes {
+		ps := powers(fr, dt)
+		if ps[0] >= ps[len(ps)-1] {
+			t.Errorf("%v: power should rise with randomized MSBs", dt)
+		}
+	}
+}
+
+func TestFig5SortingReducesPower(t *testing.T) {
+	// T8/T10/T11: every sorting variant reduces power as the sorted
+	// fraction grows.
+	for _, id := range []string{"fig5a", "fig5b", "fig5c", "fig5d"} {
+		fr := quickResult(t, id)
+		for _, dt := range matrix.DTypes {
+			ps := powers(fr, dt)
+			if ps[len(ps)-1] >= ps[0] {
+				t.Errorf("%s %v: fully sorted power (%v) should be below unsorted (%v)",
+					id, dt, ps[len(ps)-1], ps[0])
+			}
+		}
+	}
+}
+
+func TestFig5bAlignedBeatsUnaligned(t *testing.T) {
+	// T9: sorted+aligned (5b) saves more power than sorted alone (5a).
+	a := quickResult(t, "fig5a")
+	b := quickResult(t, "fig5b")
+	for _, dt := range fpDTypes {
+		pa := powers(a, dt)
+		pb := powers(b, dt)
+		last := len(pa) - 1
+		if pb[last] >= pa[last] {
+			t.Errorf("%v: aligned sort power (%v) should be below row sort (%v)",
+				dt, pb[last], pa[last])
+		}
+	}
+}
+
+func TestFig5dWeakerThanFullSort(t *testing.T) {
+	// T11: intra-row sorting reduces power to a lesser extent than
+	// sorting fully (5b, same B-transposed configuration).
+	full := quickResult(t, "fig5b")
+	within := quickResult(t, "fig5d")
+	for _, dt := range fpDTypes {
+		redFull := powers(full, dt)[0] - powers(full, dt)[len(full.Experiment.Points)-1]
+		redWithin := powers(within, dt)[0] - powers(within, dt)[len(within.Experiment.Points)-1]
+		if redWithin >= redFull {
+			t.Errorf("%v: intra-row reduction (%v W) should be below full sort (%v W)",
+				dt, redWithin, redFull)
+		}
+	}
+}
+
+func TestFig6aSparsityReducesPower(t *testing.T) {
+	// T12.
+	fr := quickResult(t, "fig6a")
+	for _, dt := range matrix.DTypes {
+		ps := powers(fr, dt)
+		if rho := stats.Spearman(xs(fr, dt), ps); rho > -0.9 {
+			t.Errorf("%v: sparsity sweep should fall monotonically, Spearman=%v", dt, rho)
+		}
+	}
+}
+
+func TestFig6bSortedSparsityPeaks(t *testing.T) {
+	// T13: on sorted matrices, FP power peaks at interior sparsity
+	// (paper: around 30–40%) and exceeds the zero-sparsity power.
+	fr := quickResult(t, "fig6b")
+	for _, dt := range fpDTypes {
+		ps := powers(fr, dt)
+		x := xs(fr, dt)
+		peak := stats.ArgMax(ps)
+		if peak == 0 || peak == len(ps)-1 {
+			t.Errorf("%v: sorted-sparsity power should peak at interior sparsity, peaked at %v",
+				dt, x[peak])
+			continue
+		}
+		if x[peak] < 0.1 || x[peak] > 0.55 {
+			t.Errorf("%v: peak at sparsity %v, paper reports 30-40%%", dt, x[peak])
+		}
+		if ps[peak] <= ps[0] {
+			t.Errorf("%v: peak power %v should exceed dense sorted power %v", dt, ps[peak], ps[0])
+		}
+	}
+}
+
+func TestFig6cZeroLSBReducesPower(t *testing.T) {
+	// T14.
+	fr := quickResult(t, "fig6c")
+	for _, dt := range matrix.DTypes {
+		ps := powers(fr, dt)
+		if ps[len(ps)-1] >= ps[0] {
+			t.Errorf("%v: zeroing all LSBs should reduce power", dt)
+		}
+		if rho := stats.Spearman(xs(fr, dt), ps); rho > -0.6 {
+			t.Errorf("%v: LSB zeroing should trend downward, Spearman=%v", dt, rho)
+		}
+	}
+}
+
+func TestFig6dZeroMSBReducesPower(t *testing.T) {
+	// T15.
+	fr := quickResult(t, "fig6d")
+	for _, dt := range matrix.DTypes {
+		ps := powers(fr, dt)
+		if ps[len(ps)-1] >= ps[0] {
+			t.Errorf("%v: zeroing all MSBs should reduce power", dt)
+		}
+	}
+}
+
+func TestRuntimeConsistentAcrossExperiments(t *testing.T) {
+	// §III: "the average iteration runtime was consistent to a
+	// microsecond-level" across all experiments of a datatype.
+	ids := []string{"fig3a", "fig4a", "fig6a"}
+	for _, dt := range matrix.DTypes {
+		var times []float64
+		for _, id := range ids {
+			fr := quickResult(t, id)
+			for _, c := range fr.Series[dt] {
+				times = append(times, c.IterTimeS)
+			}
+		}
+		lo, hi := stats.MinMax(times)
+		if hi-lo > 1e-6 {
+			t.Errorf("%v: iteration runtime spread %v s across experiments exceeds 1µs", dt, hi-lo)
+		}
+	}
+}
+
+func TestFig8Correlations(t *testing.T) {
+	// §IV-F: across FP datatypes, higher bit alignment and lower
+	// Hamming weight correlate with decreasing power ("not an entirely
+	// consistent trend", so thresholds are modest).
+	var results []*FigureResult
+	for _, id := range []string{"fig3c", "fig4a", "fig4b", "fig5b", "fig6a", "fig6c"} {
+		results = append(results, quickResult(t, id))
+	}
+	fig8 := BuildFig8(results)
+	for _, dt := range fpDTypes {
+		if len(fig8.Points[dt]) < 20 {
+			t.Fatalf("%v: too few scatter points", dt)
+		}
+		if corr := fig8.AlignmentCorr[dt]; corr > -0.2 {
+			t.Errorf("%v: corr(alignment, power) = %v, want clearly negative", dt, corr)
+		}
+		if corr := fig8.HammingCorr[dt]; corr < 0.2 {
+			t.Errorf("%v: corr(hamming, power) = %v, want clearly positive", dt, corr)
+		}
+	}
+}
+
+func TestFig7CrossGPUTrends(t *testing.T) {
+	// §IV-E at reduced scale: the V100/A100/H100 reproduce the A100
+	// trends; nothing throttles at these small sizes.
+	cfg := Quick()
+	cfg.Size = 128
+	cfg.Seeds = 2
+	duts := PaperDevices(cfg.Size)
+	r, err := RunFig7(cfg, duts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 4 {
+		t.Fatalf("expected 4 devices, got %d", len(r.Results))
+	}
+	for name, byExp := range r.Results {
+		// Sparsity must reduce power on every GPU generation.
+		cells := byExp["fig6a"]
+		if len(cells) == 0 {
+			t.Fatalf("%s: missing fig6a cells", name)
+		}
+		if cells[len(cells)-1].PowerW >= cells[0].PowerW {
+			t.Errorf("%s: sparsity should reduce power", name)
+		}
+		// Mean shift must reduce power on every GPU generation.
+		mean := byExp["fig3b"]
+		if mean[len(mean)-1].PowerW >= mean[0].PowerW {
+			t.Errorf("%s: mean shift should reduce power", name)
+		}
+	}
+	if r.Sizes["QuadroRTX6000-24GB"] != 128 {
+		t.Error("RTX 6000 size should clamp to the base size when smaller than 512")
+	}
+}
+
+func TestPowerSwing(t *testing.T) {
+	cells := []Cell{{PowerW: 100}, {PowerW: 80}, {PowerW: 60}}
+	if got := PowerSwing(cells); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("swing = %v, want 0.4", got)
+	}
+	if PowerSwing(nil) != 0 {
+		t.Error("empty swing should be 0")
+	}
+}
+
+func TestFormatFigure(t *testing.T) {
+	fr := quickResult(t, "fig6a")
+	s := FormatFigure(fr)
+	for _, want := range []string{"fig6a", "T12", "FP16-T", "swing"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatFigure missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatRuntimeTable(t *testing.T) {
+	fr := quickResult(t, "fig1")
+	s := FormatRuntimeTable(fr)
+	if !strings.Contains(s, "iter runtime") || !strings.Contains(s, "FP32") {
+		t.Errorf("runtime table malformed:\n%s", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	fr := quickResult(t, "fig6a")
+	var b strings.Builder
+	if err := WriteCSV(&b, fr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := 1 + len(matrix.DTypes)*len(fr.Experiment.Points)
+	if len(lines) != want {
+		t.Errorf("CSV has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "experiment,dtype") {
+		t.Error("missing CSV header")
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if csvEscape("plain") != "plain" {
+		t.Error("plain strings unchanged")
+	}
+	if csvEscape(`a,b"c`) != `"a,b""c"` {
+		t.Errorf("escape wrong: %q", csvEscape(`a,b"c`))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c = c.withDefaults()
+	if c.Device == nil || c.Size != 2048 || c.Seeds != 10 || c.Workers < 1 {
+		t.Errorf("defaults incomplete: %+v", c)
+	}
+	d := Default()
+	if d.Size != 2048 || d.Seeds != 10 {
+		t.Error("Default should match the paper's configuration")
+	}
+}
+
+func TestExtensionBF16TensorVsFP16Tensor(t *testing.T) {
+	// Extension beyond the paper: at identical storage width and
+	// tensor-core rate, the model predicts BF16 draws less power than
+	// FP16 because its 8-bit significand drives ~(9/12)² of the
+	// multiplier partial products.
+	exp := Fig4aBitFlips()
+	cfg := Quick()
+	cfg.DTypes = []matrix.DType{matrix.FP16T, matrix.BF16T}
+	fr, err := Run(exp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fr.Series[matrix.FP16T]
+	bf := fr.Series[matrix.BF16T]
+	for i := range fp {
+		if bf[i].PowerW >= fp[i].PowerW {
+			t.Errorf("point %s: BF16-T power %v should be below FP16-T %v",
+				fp[i].Label, bf[i].PowerW, fp[i].PowerW)
+		}
+		if bf[i].IterTimeS != fp[i].IterTimeS {
+			t.Errorf("point %s: BF16-T and FP16-T share the tensor rate; runtimes must match", fp[i].Label)
+		}
+	}
+	// The input-dependence trend itself must persist for BF16.
+	if bf[0].PowerW >= bf[len(bf)-1].PowerW {
+		t.Error("BF16-T should still show rising power with bit flips")
+	}
+}
+
+func TestRaggedSizesRunEndToEnd(t *testing.T) {
+	// Non-power-of-two, non-tile-aligned sizes must work through the
+	// whole chain (the tail tiles are ceil-divided).
+	exp := Fig6aSparsity()
+	cfg := Quick()
+	cfg.Size = 100
+	cfg.Seeds = 1
+	cfg.DTypes = []matrix.DType{matrix.INT8}
+	fr, err := Run(exp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := fr.Series[matrix.INT8]
+	if len(cells) != len(exp.Points) {
+		t.Fatal("missing cells")
+	}
+	if cells[len(cells)-1].PowerW >= cells[0].PowerW {
+		t.Error("sparsity trend should hold at ragged sizes")
+	}
+}
+
+func TestFormatFig7(t *testing.T) {
+	cfg := Quick()
+	cfg.Size = 128
+	cfg.Seeds = 1
+	r, err := RunFig7(cfg, PaperDevices(cfg.Size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FormatFig7(r)
+	for _, want := range []string{"fig7", "V100", "A100", "H100", "QuadroRTX6000", "fig3b", "fig6a"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatFig7 missing %q", want)
+		}
+	}
+}
+
+func TestFormatFig8AndCSV(t *testing.T) {
+	fig8 := BuildFig8([]*FigureResult{quickResult(t, "fig6a"), quickResult(t, "fig4a")})
+	s := FormatFig8(fig8)
+	for _, want := range []string{"fig8", "corr(alignment,power)", "FP32"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatFig8 missing %q", want)
+		}
+	}
+	var b strings.Builder
+	if err := WriteFig8CSV(&b, fig8); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	wantPoints := 0
+	for _, pts := range fig8.Points {
+		wantPoints += len(pts)
+	}
+	if len(lines) != wantPoints+1 {
+		t.Errorf("fig8 CSV has %d lines, want %d", len(lines), wantPoints+1)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// This file renders figure results as aligned text tables (the repo's
+// stand-in for the paper's plots) and as CSV for external plotting.
+
+// FormatFigure renders one figure result as a text table: one row per
+// sweep point, one power column per datatype, with ± standard errors.
+func FormatFigure(fr *FigureResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", fr.Experiment.ID, fr.Experiment.Title)
+	fmt.Fprintf(&b, "%s\n", fr.Experiment.Takeaway)
+	fmt.Fprintf(&b, "device=%s size=%d seeds=%d\n",
+		fr.Config.Device.Name, fr.Config.Size, fr.Config.Seeds)
+
+	dts := orderedDTypes(fr)
+	fmt.Fprintf(&b, "%-16s", fr.Experiment.XLabel)
+	for _, dt := range dts {
+		fmt.Fprintf(&b, " %16s", dt.String()+" (W)")
+	}
+	b.WriteString("\n")
+	for pi := range fr.Experiment.Points {
+		fmt.Fprintf(&b, "%-16s", fr.Experiment.Points[pi].Label)
+		for _, dt := range dts {
+			c := fr.Series[dt][pi]
+			cell := fmt.Sprintf("%.1f±%.1f", c.PowerW, c.PowerErrW)
+			if c.Throttled {
+				cell += "*"
+			}
+			fmt.Fprintf(&b, " %16s", cell)
+		}
+		b.WriteString("\n")
+	}
+	for _, dt := range dts {
+		fmt.Fprintf(&b, "swing %-6s %.1f%%  ", dt, 100*PowerSwing(fr.Series[dt]))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FormatRuntimeTable renders Fig. 1-style data: iteration runtime and
+// energy per datatype from a single-point figure result.
+func FormatRuntimeTable(fr *FigureResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", fr.Experiment.ID, fr.Experiment.Title)
+	fmt.Fprintf(&b, "%-8s %18s %18s %14s\n", "dtype", "iter runtime (µs)", "iter energy (J)", "power (W)")
+	for _, dt := range orderedDTypes(fr) {
+		c := fr.Series[dt][0]
+		fmt.Fprintf(&b, "%-8s %18.1f %18.4f %14.1f\n",
+			dt, c.IterTimeS*1e6, c.EnergyPerIterJ, c.PowerW)
+	}
+	return b.String()
+}
+
+// WriteCSV emits a figure result as CSV rows:
+// experiment,dtype,label,x,power_w,power_err_w,iter_time_s,energy_j,alignment,hamming,throttled.
+func WriteCSV(w io.Writer, fr *FigureResult) error {
+	if _, err := fmt.Fprintln(w,
+		"experiment,dtype,label,x,power_w,power_err_w,iter_time_s,energy_j,alignment,hamming,throttled"); err != nil {
+		return err
+	}
+	for _, dt := range orderedDTypes(fr) {
+		for _, c := range fr.Series[dt] {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%g,%.3f,%.3f,%.9f,%.6f,%.4f,%.3f,%t\n",
+				fr.Experiment.ID, dt, csvEscape(c.Label), c.X, c.PowerW, c.PowerErrW,
+				c.IterTimeS, c.EnergyPerIterJ, c.MeanAlignment, c.MeanHamming, c.Throttled); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// FormatFig7 renders the cross-GPU generalization result.
+func FormatFig7(r *Fig7Result) string {
+	var b strings.Builder
+	b.WriteString("fig7 — Experiment results across NVIDIA GPUs (FP16)\n")
+	devNames := make([]string, 0, len(r.Results))
+	for name := range r.Results {
+		devNames = append(devNames, name)
+	}
+	sort.Strings(devNames)
+	for _, exp := range Fig7Experiments() {
+		fmt.Fprintf(&b, "\n[%s] %s\n", exp.ID, exp.Title)
+		fmt.Fprintf(&b, "%-16s", exp.XLabel)
+		for _, name := range devNames {
+			fmt.Fprintf(&b, " %22s", fmt.Sprintf("%s@%d (W)", shortName(name), r.Sizes[name]))
+		}
+		b.WriteString("\n")
+		for pi, pt := range exp.Points {
+			fmt.Fprintf(&b, "%-16s", pt.Label)
+			for _, name := range devNames {
+				cells := r.Results[name][exp.ID]
+				cell := "-"
+				if pi < len(cells) {
+					cell = fmt.Sprintf("%.1f", cells[pi].PowerW)
+					if cells[pi].Throttled {
+						cell += "*"
+					}
+				}
+				fmt.Fprintf(&b, " %22s", cell)
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("\n(* = throttled)\n")
+	return b.String()
+}
+
+func shortName(device string) string {
+	if i := strings.IndexByte(device, '-'); i > 0 {
+		return device[:i]
+	}
+	return device
+}
+
+// FormatFig8 renders the correlation analysis.
+func FormatFig8(r *Fig8Result) string {
+	var b strings.Builder
+	b.WriteString("fig8 — Bit alignment and Hamming weight vs. power\n")
+	fmt.Fprintf(&b, "%-8s %8s %22s %20s\n", "dtype", "points", "corr(alignment,power)", "corr(hamming,power)")
+	for _, dt := range matrix.DTypes {
+		pts, ok := r.Points[dt]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %8d %22.3f %20.3f\n",
+			dt, len(pts), r.AlignmentCorr[dt], r.HammingCorr[dt])
+	}
+	return b.String()
+}
+
+// WriteFig8CSV emits the scatter points.
+func WriteFig8CSV(w io.Writer, r *Fig8Result) error {
+	if _, err := fmt.Fprintln(w, "dtype,experiment,label,alignment,hamming,power_w"); err != nil {
+		return err
+	}
+	for _, dt := range matrix.DTypes {
+		for _, p := range r.Points[dt] {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.4f,%.3f,%.3f\n",
+				dt, p.ExperimentID, csvEscape(p.Label), p.Alignment, p.Hamming, p.PowerW); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func orderedDTypes(fr *FigureResult) []matrix.DType {
+	var out []matrix.DType
+	for _, dt := range matrix.DTypes {
+		if _, ok := fr.Series[dt]; ok {
+			out = append(out, dt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package kernels models the CUTLASS-style tiled GEMM kernels the paper
+// runs (§II–§III): threadblock tiling, wave scheduling onto SMs, and
+// functional (bit-accurate) execution of D = αA·B + βC for each of the
+// paper's four datatype setups.
+//
+// Two things about the kernel matter for input-dependent power:
+//
+//  1. The streaming order of operands through the datapath — each
+//     output element's lane consumes A row-major and B column-major
+//     along the reduction dimension k, which determines which adjacent
+//     value pairs toggle the operand buses (internal/activity).
+//  2. The threadblock tiling and wave quantization — how many tiles run
+//     concurrently on the SMs determines utilization and therefore the
+//     sustained power at a given problem size (internal/power).
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// TileConfig is a CUTLASS-style threadblock tile shape.
+type TileConfig struct {
+	// BlockM × BlockN is the output tile one threadblock produces;
+	// BlockK is the k-slice staged through shared memory per mainloop
+	// iteration.
+	BlockM, BlockN, BlockK int
+}
+
+// DefaultTile returns the tile shape a CUTLASS device-level GEMM would
+// pick for the datatype on Ampere-class parts.
+func DefaultTile(dt matrix.DType) TileConfig {
+	switch dt {
+	case matrix.FP16T, matrix.BF16T:
+		// Tensor-core kernels run larger tiles to feed the MMA units.
+		return TileConfig{BlockM: 128, BlockN: 128, BlockK: 64}
+	case matrix.INT8:
+		return TileConfig{BlockM: 128, BlockN: 128, BlockK: 64}
+	default:
+		return TileConfig{BlockM: 128, BlockN: 128, BlockK: 32}
+	}
+}
+
+// SelectTile returns a shape-aware tile: the dtype default for large
+// outputs, with BlockM/BlockN shrunk (to a power of two, minimum 8) for
+// skinny outputs the way cuBLAS heuristics pick smaller tiles for
+// GEMV-like shapes. Without this, a batch-8 LLM decode GEMM would waste
+// 15/16 of every 128-row tile and look compute-bound when the real
+// kernel is memory-bound.
+func SelectTile(dt matrix.DType, n, m int) TileConfig {
+	t := DefaultTile(dt)
+	t.BlockM = shrinkTo(t.BlockM, n)
+	t.BlockN = shrinkTo(t.BlockN, m)
+	return t
+}
+
+// shrinkTo reduces a tile dimension to the smallest power of two ≥ dim
+// (minimum 8) when dim is below the default block size.
+func shrinkTo(block, dim int) int {
+	if dim >= block {
+		return block
+	}
+	p := 8
+	for p < dim {
+		p <<= 1
+	}
+	return p
+}
+
+// Validate checks that the tile shape is usable.
+func (t TileConfig) Validate() error {
+	if t.BlockM <= 0 || t.BlockN <= 0 || t.BlockK <= 0 {
+		return fmt.Errorf("kernels: non-positive tile dims %+v", t)
+	}
+	return nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// NumTiles returns the number of threadblocks launched for an (N,M)
+// output.
+func (t TileConfig) NumTiles(n, m int) int {
+	return ceilDiv(n, t.BlockM) * ceilDiv(m, t.BlockN)
+}
+
+// Waves returns the number of scheduling waves for the given tile count
+// on smCount SMs (one resident block per SM, the CUTLASS default for
+// these large tiles).
+func Waves(tiles, smCount int) int {
+	if tiles <= 0 {
+		return 0
+	}
+	return ceilDiv(tiles, smCount)
+}
+
+// Utilization returns the average fraction of SMs busy across all
+// waves: full waves run every SM; the tail wave runs only the leftover
+// blocks. This wave quantization is why a 2048² GEMM holds an A100
+// around 80 % of peak sustained power while 4096² pushes it toward the
+// TDP limit.
+func Utilization(tiles, smCount int) float64 {
+	if tiles <= 0 || smCount <= 0 {
+		return 0
+	}
+	waves := Waves(tiles, smCount)
+	full := tiles / smCount
+	tail := tiles - full*smCount
+	u := float64(full)
+	if tail > 0 {
+		u += float64(tail) / float64(smCount)
+	}
+	return u / float64(waves)
+}
+
+// Problem describes one GEMM execution: D = αA·Bop + βC where A is
+// (N,K) and Bop is the operand layout the kernel consumes, (K,M). The
+// paper's default zeroes C and sets α=1, β=1.
+type Problem struct {
+	DType matrix.DType
+	A     *matrix.Matrix // (N, K)
+	B     *matrix.Matrix // (K, M), already transposed if the experiment calls for it
+	C     *matrix.Matrix // (N, M) or nil for zero
+	Alpha float64
+	Beta  float64
+	Tile  TileConfig
+}
+
+// NewProblem builds a Problem with the paper's defaults (α=1, β=1,
+// C = 0, default tile for the datatype).
+func NewProblem(dt matrix.DType, a, b *matrix.Matrix) *Problem {
+	return &Problem{
+		DType: dt,
+		A:     a,
+		B:     b,
+		Alpha: 1,
+		Beta:  1,
+		Tile:  DefaultTile(dt),
+	}
+}
+
+// Dims returns (N, K, M).
+func (p *Problem) Dims() (n, k, m int) {
+	return p.A.Rows, p.A.Cols, p.B.Cols
+}
+
+// MACs returns the number of multiply-accumulate operations one
+// iteration performs.
+func (p *Problem) MACs() int64 {
+	n, k, m := p.Dims()
+	return int64(n) * int64(k) * int64(m)
+}
+
+// Validate checks shape compatibility and datatype consistency.
+func (p *Problem) Validate() error {
+	if p.A == nil || p.B == nil {
+		return fmt.Errorf("kernels: nil operand")
+	}
+	if p.A.DType != p.DType || p.B.DType != p.DType {
+		return fmt.Errorf("kernels: operand dtype mismatch (problem %v, A %v, B %v)",
+			p.DType, p.A.DType, p.B.DType)
+	}
+	if p.A.Cols != p.B.Rows {
+		return fmt.Errorf("kernels: inner dimensions disagree: A is %dx%d, B is %dx%d",
+			p.A.Rows, p.A.Cols, p.B.Rows, p.B.Cols)
+	}
+	if p.C != nil {
+		if p.C.Rows != p.A.Rows || p.C.Cols != p.B.Cols {
+			return fmt.Errorf("kernels: C shape %dx%d does not match output %dx%d",
+				p.C.Rows, p.C.Cols, p.A.Rows, p.B.Cols)
+		}
+	}
+	return p.Tile.Validate()
+}

@@ -1,0 +1,185 @@
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/matrix"
+	"repro/internal/softfloat"
+)
+
+// Output is a dense row-major result matrix in float64, the common
+// denominator for verifying every datatype's accumulation behaviour
+// against a reference.
+type Output struct {
+	Rows, Cols int
+	Vals       []float64
+}
+
+// At returns the output element at (i, j).
+func (o *Output) At(i, j int) float64 { return o.Vals[i*o.Cols+j] }
+
+// Run executes the GEMM functionally with the exact arithmetic of the
+// datatype setup:
+//
+//	FP32   — float32 multiply, float32 accumulate
+//	FP16   — binary16 multiply, binary16 accumulate (SIMT HFMA)
+//	FP16-T — binary16 multiply exact in float32, float32 accumulate
+//	         (tensor-core MMA semantics), binary16 final store
+//	INT8   — int8 multiply, int32 accumulate (DP4A semantics)
+//
+// Rows are computed in parallel across CPU cores; results are
+// deterministic because each output element's reduction order is fixed
+// (ascending k), matching the per-lane order of the simulated kernel.
+func Run(p *Problem) (*Output, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, _, m := p.Dims()
+	out := &Output{Rows: n, Cols: m, Vals: make([]float64, n*m)}
+
+	var kernel func(i int)
+	switch p.DType {
+	case matrix.FP32:
+		kernel = func(i int) { rowFP32(p, out, i) }
+	case matrix.FP16:
+		kernel = func(i int) { rowFP16(p, out, i) }
+	case matrix.FP16T:
+		kernel = func(i int) { rowFP16T(p, out, i) }
+	case matrix.INT8:
+		kernel = func(i int) { rowINT8(p, out, i) }
+	case matrix.BF16T:
+		kernel = func(i int) { rowBF16T(p, out, i) }
+	default:
+		return nil, fmt.Errorf("kernels: unsupported dtype %v", p.DType)
+	}
+
+	parallelRows(n, kernel)
+	return out, nil
+}
+
+// parallelRows fans row indices out to a worker per core.
+func parallelRows(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func cVal(p *Problem, i, j int) float64 {
+	if p.C == nil {
+		return 0
+	}
+	return p.C.Value(i, j)
+}
+
+func rowFP32(p *Problem, out *Output, i int) {
+	_, k, m := p.Dims()
+	aRow := p.A.Row(i)
+	for j := 0; j < m; j++ {
+		var acc float32
+		for kk := 0; kk < k; kk++ {
+			a := softfloat.F32FromBits(aRow[kk])
+			b := softfloat.F32FromBits(p.B.At(kk, j))
+			acc += a * b
+		}
+		d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+		out.Vals[i*m+j] = float64(d)
+	}
+}
+
+func rowFP16(p *Problem, out *Output, i int) {
+	_, k, m := p.Dims()
+	aRow := p.A.Row(i)
+	alpha := softfloat.F32ToF16(float32(p.Alpha))
+	beta := softfloat.F32ToF16(float32(p.Beta))
+	for j := 0; j < m; j++ {
+		var acc uint16
+		for kk := 0; kk < k; kk++ {
+			acc = softfloat.FMA16(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
+		}
+		c := softfloat.F32ToF16(float32(cVal(p, i, j)))
+		d := softfloat.Add16(softfloat.Mul16(alpha, acc), softfloat.Mul16(beta, c))
+		out.Vals[i*m+j] = float64(softfloat.F16ToF32(d))
+	}
+}
+
+func rowFP16T(p *Problem, out *Output, i int) {
+	_, k, m := p.Dims()
+	aRow := p.A.Row(i)
+	for j := 0; j < m; j++ {
+		var acc float32
+		for kk := 0; kk < k; kk++ {
+			acc = softfloat.FMA16To32(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
+		}
+		d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+		// Tensor-core epilogues store the FP32 accumulator back to the
+		// FP16 output with round-to-nearest.
+		out.Vals[i*m+j] = float64(softfloat.F16ToF32(softfloat.F32ToF16(d)))
+	}
+}
+
+func rowBF16T(p *Problem, out *Output, i int) {
+	_, k, m := p.Dims()
+	aRow := p.A.Row(i)
+	for j := 0; j < m; j++ {
+		var acc float32
+		for kk := 0; kk < k; kk++ {
+			acc = softfloat.FMABF16To32(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
+		}
+		d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+		out.Vals[i*m+j] = float64(softfloat.BF16ToF32(softfloat.F32ToBF16(d)))
+	}
+}
+
+func rowINT8(p *Problem, out *Output, i int) {
+	_, k, m := p.Dims()
+	aRow := p.A.Row(i)
+	for j := 0; j < m; j++ {
+		var acc int32
+		for kk := 0; kk < k; kk++ {
+			acc = softfloat.DotI8(int8(uint8(aRow[kk])), int8(uint8(p.B.At(kk, j))), acc)
+		}
+		out.Vals[i*m+j] = p.Alpha*float64(acc) + p.Beta*cVal(p, i, j)
+	}
+}
+
+// Reference computes the GEMM in float64 with no intermediate rounding,
+// the oracle the datatype kernels are verified against.
+func Reference(p *Problem) *Output {
+	n, k, m := p.Dims()
+	out := &Output{Rows: n, Cols: m, Vals: make([]float64, n*m)}
+	parallelRows(n, func(i int) {
+		for j := 0; j < m; j++ {
+			var acc float64
+			for kk := 0; kk < k; kk++ {
+				acc += p.A.Value(i, kk) * p.B.Value(kk, j)
+			}
+			out.Vals[i*m+j] = p.Alpha*acc + p.Beta*cVal(p, i, j)
+		}
+	})
+	return out
+}

@@ -1,0 +1,340 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/softfloat"
+)
+
+func TestDefaultTiles(t *testing.T) {
+	for _, dt := range matrix.DTypes {
+		tile := DefaultTile(dt)
+		if err := tile.Validate(); err != nil {
+			t.Errorf("%v: %v", dt, err)
+		}
+	}
+	if DefaultTile(matrix.FP16T).BlockK != 64 {
+		t.Error("tensor-core tile should stage a 64-deep k slice")
+	}
+}
+
+func TestTileValidate(t *testing.T) {
+	if err := (TileConfig{0, 1, 1}).Validate(); err == nil {
+		t.Error("expected error for zero dim")
+	}
+}
+
+func TestNumTiles(t *testing.T) {
+	tile := TileConfig{BlockM: 128, BlockN: 128, BlockK: 32}
+	if got := tile.NumTiles(2048, 2048); got != 256 {
+		t.Errorf("2048²/128² = %d tiles, want 256", got)
+	}
+	if got := tile.NumTiles(129, 128); got != 2 {
+		t.Errorf("ragged edge should round up: got %d, want 2", got)
+	}
+}
+
+func TestWavesAndUtilization(t *testing.T) {
+	// The paper's primary configuration: 256 tiles on 108 A100 SMs.
+	if Waves(256, 108) != 3 {
+		t.Errorf("waves = %d, want 3", Waves(256, 108))
+	}
+	u := Utilization(256, 108)
+	want := (2.0 + 40.0/108.0) / 3.0
+	if math.Abs(u-want) > 1e-12 {
+		t.Errorf("utilization = %v, want %v", u, want)
+	}
+	// 4096² has 1024 tiles: far better wave packing, the reason it runs
+	// hotter and throttles.
+	if Utilization(1024, 108) <= u {
+		t.Error("4096² should pack waves better than 2048²")
+	}
+	if Utilization(108, 108) != 1 {
+		t.Error("exactly one full wave should be 100% utilized")
+	}
+	if Utilization(0, 108) != 0 || Waves(0, 108) != 0 {
+		t.Error("zero tiles should have zero waves and utilization")
+	}
+}
+
+// randProblem builds a Gaussian-filled problem. Numeric-correctness
+// tests use a modest σ: the paper's σ=210 deliberately drives FP16
+// accumulators past 65504 (they only measured power, not outputs), which
+// would turn comparisons into Inf/NaN checks.
+func randProblem(t *testing.T, dt matrix.DType, n, k, m int, seed uint64, std float64) *Problem {
+	t.Helper()
+	a := matrix.New(dt, n, k)
+	b := matrix.New(dt, k, m)
+	matrix.FillGaussian(a, rng.Derive(seed, "A"), 0, std)
+	matrix.FillGaussian(b, rng.Derive(seed, "B"), 0, std)
+	return NewProblem(dt, a, b)
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := randProblem(t, matrix.FP32, 8, 16, 8, 1, 210)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Inner dim mismatch.
+	bad := NewProblem(matrix.FP32, matrix.New(matrix.FP32, 8, 16), matrix.New(matrix.FP32, 17, 8))
+	if err := bad.Validate(); err == nil {
+		t.Error("expected inner-dimension error")
+	}
+	// DType mismatch.
+	bad2 := NewProblem(matrix.FP32, matrix.New(matrix.FP16, 8, 16), matrix.New(matrix.FP32, 16, 8))
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected dtype error")
+	}
+	// C shape mismatch.
+	p.C = matrix.New(matrix.FP32, 3, 3)
+	if err := p.Validate(); err == nil {
+		t.Error("expected C shape error")
+	}
+}
+
+func TestMACs(t *testing.T) {
+	p := randProblem(t, matrix.FP32, 8, 16, 32, 1, 210)
+	if p.MACs() != 8*16*32 {
+		t.Errorf("MACs = %d", p.MACs())
+	}
+}
+
+func TestFP32MatchesReference(t *testing.T) {
+	p := randProblem(t, matrix.FP32, 16, 32, 16, 2, 210)
+	got, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(p)
+	// float32 accumulation error scales with the magnitude of the
+	// partial products (k·σ²), not the possibly-cancelled result.
+	scale := 32.0 * 210 * 210
+	for i := range got.Vals {
+		if math.Abs(got.Vals[i]-want.Vals[i]) > 1e-5*scale {
+			t.Fatalf("FP32 element %d: got %v want %v", i, got.Vals[i], want.Vals[i])
+		}
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestFP16TMatchesReferenceLoosely(t *testing.T) {
+	p := randProblem(t, matrix.FP16T, 16, 32, 16, 3, 1)
+	got, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(p)
+	for i := range got.Vals {
+		// FP32 accumulate of FP16 products, stored to FP16: half ULP of
+		// the result plus accumulation error.
+		if rel := relErr(got.Vals[i], want.Vals[i]); rel > 2e-3 {
+			t.Fatalf("FP16T element %d: got %v want %v", i, got.Vals[i], want.Vals[i])
+		}
+	}
+}
+
+func TestFP16AccumulationLossy(t *testing.T) {
+	// Plain FP16 accumulates in binary16 and therefore absorbs small
+	// addends; tensor-core FP32 accumulation does not. Summing k copies
+	// of 1.0 with k beyond 2048 shows the difference (2048+1 == 2048 in
+	// binary16).
+	const k = 4096
+	dtA := matrix.New(matrix.FP16, 1, k)
+	dtB := matrix.New(matrix.FP16, k, 1)
+	matrix.FillConstant(dtA, 1)
+	matrix.FillConstant(dtB, 1)
+	p := NewProblem(matrix.FP16, dtA, dtB)
+	got, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 2048 {
+		t.Errorf("FP16 accumulate of 4096 ones = %v, want 2048 (saturated)", got.At(0, 0))
+	}
+
+	ta := matrix.New(matrix.FP16T, 1, k)
+	tb := matrix.New(matrix.FP16T, k, 1)
+	matrix.FillConstant(ta, 1)
+	matrix.FillConstant(tb, 1)
+	pt := NewProblem(matrix.FP16T, ta, tb)
+	gotT, err := Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT.At(0, 0) != 4096 {
+		t.Errorf("FP16T accumulate of 4096 ones = %v, want 4096", gotT.At(0, 0))
+	}
+}
+
+func TestINT8Exact(t *testing.T) {
+	// INT8 with INT32 accumulation is exact integer math.
+	p := randProblem(t, matrix.INT8, 12, 24, 12, 4, 25)
+	got, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(p)
+	for i := range got.Vals {
+		if got.Vals[i] != want.Vals[i] {
+			t.Fatalf("INT8 element %d: got %v want %v (must be exact)", i, got.Vals[i], want.Vals[i])
+		}
+	}
+}
+
+func TestAlphaBetaAndC(t *testing.T) {
+	a := matrix.New(matrix.FP32, 2, 2)
+	b := matrix.New(matrix.FP32, 2, 2)
+	c := matrix.New(matrix.FP32, 2, 2)
+	matrix.FillConstant(a, 1)
+	matrix.FillConstant(b, 1)
+	matrix.FillConstant(c, 10)
+	p := NewProblem(matrix.FP32, a, b)
+	p.C = c
+	p.Alpha = 2
+	p.Beta = 3
+	got, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D = 2·(A·B) + 3·C = 2·2 + 30 = 34 everywhere.
+	for i := range got.Vals {
+		if got.Vals[i] != 34 {
+			t.Fatalf("alpha/beta result = %v, want 34", got.Vals[i])
+		}
+	}
+}
+
+func TestZeroMatricesGiveZero(t *testing.T) {
+	for _, dt := range matrix.DTypes {
+		a := matrix.New(dt, 4, 8)
+		b := matrix.New(dt, 8, 4)
+		got, err := Run(NewProblem(dt, a, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Vals {
+			if got.Vals[i] != 0 {
+				t.Fatalf("%v: zero GEMM produced %v", dt, got.Vals[i])
+			}
+		}
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	bad := NewProblem(matrix.FP32, matrix.New(matrix.FP32, 8, 16), matrix.New(matrix.FP32, 17, 8))
+	if _, err := Run(bad); err == nil {
+		t.Error("Run should reject invalid problems")
+	}
+}
+
+func TestDeterministicAcrossParallelRuns(t *testing.T) {
+	// Parallel row execution must not change results (fixed per-element
+	// reduction order).
+	p := randProblem(t, matrix.FP16, 32, 64, 32, 5, 1)
+	first, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		again, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first.Vals {
+			if first.Vals[i] != again.Vals[i] {
+				t.Fatal("non-deterministic output")
+			}
+		}
+	}
+}
+
+func TestFP16TensorVsSIMTDiffer(t *testing.T) {
+	// The two FP16 paths are different arithmetic; on long reductions
+	// they must diverge, which is exactly why the paper treats them as
+	// separate datatype setups.
+	const n, k = 4, 512
+	a16 := matrix.New(matrix.FP16, n, k)
+	b16 := matrix.New(matrix.FP16, k, n)
+	matrix.FillGaussian(a16, rng.New(9), 0, 1)
+	matrix.FillGaussian(b16, rng.New(10), 0, 1)
+
+	aT := matrix.New(matrix.FP16T, n, k)
+	bT := matrix.New(matrix.FP16T, k, n)
+	copy(aT.Bits, a16.Bits)
+	copy(bT.Bits, b16.Bits)
+
+	r16, err := Run(NewProblem(matrix.FP16, a16, b16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rT, err := Run(NewProblem(matrix.FP16T, aT, bT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range r16.Vals {
+		if r16.Vals[i] != rT.Vals[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("FP16 SIMT and tensor-core accumulation should differ on long reductions")
+	}
+}
+
+func TestOutputAt(t *testing.T) {
+	o := &Output{Rows: 2, Cols: 3, Vals: []float64{0, 1, 2, 3, 4, 5}}
+	if o.At(1, 2) != 5 {
+		t.Error("Output.At indexing wrong")
+	}
+}
+
+func TestFP16MatchesScalarSoftfloat(t *testing.T) {
+	// Cross-check one output element against a hand-rolled FMA chain.
+	p := randProblem(t, matrix.FP16, 4, 16, 4, 6, 1)
+	got, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc uint16
+	for kk := 0; kk < 16; kk++ {
+		acc = softfloat.FMA16(uint16(p.A.At(2, kk)), uint16(p.B.At(kk, 3)), acc)
+	}
+	want := float64(softfloat.F16ToF32(acc))
+	if got.At(2, 3) != want {
+		t.Errorf("element (2,3): got %v want %v", got.At(2, 3), want)
+	}
+}
+
+func TestSelectTile(t *testing.T) {
+	// Large outputs keep the dtype default.
+	if got := SelectTile(matrix.FP16T, 2048, 2048); got != DefaultTile(matrix.FP16T) {
+		t.Errorf("large output should use the default tile, got %+v", got)
+	}
+	// Skinny outputs shrink the matching dimension to a power of two.
+	got := SelectTile(matrix.FP16T, 8, 4096)
+	if got.BlockM != 8 || got.BlockN != 128 {
+		t.Errorf("batch-8 tile = %+v, want 8x128", got)
+	}
+	got = SelectTile(matrix.FP32, 100, 100)
+	if got.BlockM != 128 || got.BlockN != 128 {
+		t.Errorf("dims within one default tile keep it: %+v", got)
+	}
+	got = SelectTile(matrix.FP32, 1, 1)
+	if got.BlockM != 8 || got.BlockN != 8 {
+		t.Errorf("minimum tile is 8x8, got %+v", got)
+	}
+	if got := SelectTile(matrix.INT8, 33, 64); got.BlockM != 64 || got.BlockN != 64 {
+		t.Errorf("33 rows should round up to a 64 block, got %+v", got)
+	}
+}

@@ -1,0 +1,243 @@
+package matrix
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/bitops"
+	"repro/internal/rng"
+)
+
+// This file implements the input transformations of §IV: placement
+// (partial sorting variants), sparsity, and bit-level edits. Transforms
+// mutate the matrix in place; callers clone first if they need the
+// original.
+
+// clampFrac clamps a fraction to [0, 1].
+func clampFrac(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// countOf returns round(frac·n) clamped to [0, n].
+func countOf(frac float64, n int) int {
+	k := int(clampFrac(frac)*float64(n) + 0.5)
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// orderableBits32 maps a float32 onto a uint32 whose unsigned order
+// matches the numeric order: negative values are bit-inverted, positive
+// values get the sign bit set. NaNs land above +Inf, giving them a
+// deterministic (if arbitrary) position in sorts.
+func orderableBits32(f float32) uint32 {
+	b := math.Float32bits(f)
+	if b&0x80000000 != 0 {
+		return ^b
+	}
+	return b | 0x80000000
+}
+
+// partialSortInto reorders the elements so that the k smallest values,
+// sorted ascending, occupy the positions listed in dst[:k]; the
+// remaining elements fill the remaining positions of dst in their
+// original relative order. dst must be a permutation of all indices.
+//
+// The argsort packs each element's order key and index into one uint64
+// (key high, index low) so a single primitive slices.Sort does a stable
+// value sort — the paper's 2048² matrices hold 4.2M elements, and an
+// interface-based sort.SliceStable here dominated whole experiment
+// sweeps. Every dtype decodes losslessly to float32, so the 32-bit
+// order key is exact.
+func partialSortInto(m *Matrix, frac float64, dst []int) {
+	n := len(m.Bits)
+	k := countOf(frac, n)
+	if k == 0 {
+		return
+	}
+
+	keys := make([]uint64, n)
+	for i, b := range m.Bits {
+		v := float32(m.DType.Decode(b))
+		keys[i] = uint64(orderableBits32(v))<<32 | uint64(uint32(i))
+	}
+	slices.Sort(keys)
+
+	isLowest := make([]bool, n)
+	out := make([]uint32, n)
+	// Place the k smallest (in ascending order, ties by original
+	// position) at dst[:k].
+	for p := 0; p < k; p++ {
+		i := int(uint32(keys[p]))
+		isLowest[i] = true
+		out[dst[p]] = m.Bits[i]
+	}
+	// Remaining values keep original relative order in the remaining
+	// destination slots.
+	p := k
+	for i := 0; i < n; i++ {
+		if isLowest[i] {
+			continue
+		}
+		out[dst[p]] = m.Bits[i]
+		p++
+	}
+	copy(m.Bits, out)
+}
+
+// rowMajorOrder returns row-major position indices.
+func rowMajorOrder(rows, cols int) []int {
+	out := make([]int, rows*cols)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// colMajorOrder returns indices that walk the matrix column-major.
+func colMajorOrder(rows, cols int) []int {
+	out := make([]int, 0, rows*cols)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			out = append(out, i*cols+j)
+		}
+	}
+	return out
+}
+
+// SortIntoRows partially sorts the matrix row-wise (§IV-C, Fig. 5a/5b):
+// the lowest frac of values are sorted into the first frac of row-major
+// indices.
+func SortIntoRows(m *Matrix, frac float64) {
+	partialSortInto(m, frac, rowMajorOrder(m.Rows, m.Cols))
+}
+
+// SortIntoCols partially sorts the matrix column-wise (§IV-C, Fig. 5c):
+// the lowest frac of values are sorted into the first frac of
+// column-major indices.
+func SortIntoCols(m *Matrix, frac float64) {
+	partialSortInto(m, frac, colMajorOrder(m.Rows, m.Cols))
+}
+
+// SortWithinRows partially sorts each row independently (§IV-C,
+// Fig. 5d): within every row, the lowest frac of that row's values are
+// sorted into the row's first indices.
+func SortWithinRows(m *Matrix, frac float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		sub := &Matrix{DType: m.DType, Rows: 1, Cols: m.Cols, Bits: row}
+		partialSortInto(sub, frac, rowMajorOrder(1, m.Cols))
+	}
+}
+
+// SortFully sorts every element ascending in row-major order, the
+// starting point of the sparsity-after-sorting experiment (Fig. 6b).
+func SortFully(m *Matrix) { SortIntoRows(m, 1) }
+
+// Sparsify sets a uniformly random frac of the elements to zero
+// (§IV-D, Fig. 6a/6b). Positions are chosen without replacement so the
+// realized sparsity is exact up to rounding.
+func Sparsify(m *Matrix, src *rng.Source, frac float64) {
+	n := len(m.Bits)
+	k := countOf(frac, n)
+	if k == 0 {
+		return
+	}
+	perm := src.Perm(n)
+	for _, i := range perm[:k] {
+		m.Bits[i] = 0
+	}
+}
+
+// RandomBitFlips flips each bit of each element independently with
+// probability p (§IV-B, Fig. 4a). Starting from a constant-filled
+// matrix, p = 0 leaves all elements identical and p = 0.5 makes them
+// independently random.
+func RandomBitFlips(m *Matrix, src *rng.Source, p float64) {
+	p = clampFrac(p)
+	if p == 0 {
+		return
+	}
+	width := m.DType.Width()
+	for i := range m.Bits {
+		var flip uint32
+		for b := 0; b < width; b++ {
+			if src.Float64() < p {
+				flip |= 1 << uint(b)
+			}
+		}
+		m.Bits[i] ^= flip
+	}
+}
+
+// RandomizeLSBs replaces the n least significant bits of every element
+// with independent random bits (§IV-B, Fig. 4b).
+func RandomizeLSBs(m *Matrix, src *rng.Source, n int) {
+	width := m.DType.Width()
+	if n <= 0 {
+		return
+	}
+	if n > width {
+		n = width
+	}
+	mask := bitops.LowMask(n)
+	for i := range m.Bits {
+		m.Bits[i] = (m.Bits[i] &^ mask) | (src.Uint32() & mask)
+	}
+}
+
+// RandomizeMSBs replaces the n most significant bits of every element
+// with independent random bits (§IV-B, Fig. 4c).
+func RandomizeMSBs(m *Matrix, src *rng.Source, n int) {
+	width := m.DType.Width()
+	if n <= 0 {
+		return
+	}
+	mask := bitops.HighMask(n, width)
+	for i := range m.Bits {
+		m.Bits[i] = (m.Bits[i] &^ mask) | (src.Uint32() & mask)
+	}
+}
+
+// ZeroLSBs clears the n least significant bits of every element
+// (§IV-D "sparsity in physical structure", Fig. 6c).
+func ZeroLSBs(m *Matrix, n int) {
+	if n <= 0 {
+		return
+	}
+	width := m.DType.Width()
+	if n > width {
+		n = width
+	}
+	mask := ^bitops.LowMask(n)
+	for i := range m.Bits {
+		m.Bits[i] &= mask
+	}
+}
+
+// ZeroMSBs clears the n most significant bits of every element
+// (§IV-D, Fig. 6d).
+func ZeroMSBs(m *Matrix, n int) {
+	if n <= 0 {
+		return
+	}
+	width := m.DType.Width()
+	mask := ^bitops.HighMask(n, width)
+	for i := range m.Bits {
+		m.Bits[i] &= mask
+	}
+}
+
+// Zero clears the whole matrix (the paper zeroes the C matrix).
+func Zero(m *Matrix) {
+	for i := range m.Bits {
+		m.Bits[i] = 0
+	}
+}

@@ -1,0 +1,248 @@
+// Package optimize implements the paper's §V future-work directions as
+// usable transformations over model weight matrices:
+//
+//   - MeanShift — move weight values toward larger means, which §IV-A
+//     (T2) shows reduces FP power;
+//   - SortNeurons — a permutation-invariant transformation that sorts
+//     the rows (output neurons) of a weight matrix to exploit the §IV-C
+//     placement savings while computing exactly the same function up to
+//     an output permutation;
+//   - MagnitudePrune — power-aware sparsity masks (§IV-D, T12).
+//
+// Each transformation reports how to undo or account for its effect so
+// the surrounding network computes the same result.
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+// MeanShiftResult describes a weight shift W' = W + delta.
+type MeanShiftResult struct {
+	// DeltaPerCol is the constant added to each weight column; the
+	// layer's bias must be corrected by -Σ delta·x̄ terms downstream, or
+	// the shift folded into a preceding normalization.
+	Delta float64
+}
+
+// MeanShift adds a constant to every weight so the matrix mean becomes
+// targetMean (T2: larger means reduce FP power). It returns the applied
+// delta so callers can compensate: for a linear layer y = Wx + b, using
+// W' = W + Δ·1 requires b' = b - Δ·(1ᵀx)·1 at runtime, or an exact fold
+// when x is normalized with known mean.
+func MeanShift(w *matrix.Matrix, targetMean float64) MeanShiftResult {
+	mean, _ := w.ValueStats()
+	delta := targetMean - mean
+	for i := range w.Bits {
+		w.Bits[i] = w.DType.Encode(w.DType.Decode(w.Bits[i]) + delta)
+	}
+	return MeanShiftResult{Delta: delta}
+}
+
+// SortNeuronsResult carries the permutation applied to the rows of a
+// weight matrix.
+type SortNeuronsResult struct {
+	// Perm maps new row index → original row index. Downstream
+	// consumers of the layer's outputs must apply the same permutation
+	// to their input dimension (or outputs can be un-permuted).
+	Perm []int
+}
+
+// rowRMS returns the root-mean-square magnitude of row i, the scale key
+// the sorting transforms order by (LLM weight matrices commonly have
+// per-channel scale structure; RMS captures it where the mean of a
+// zero-centered row cannot).
+func rowRMS(w *matrix.Matrix, i int) float64 {
+	var sum float64
+	for j := 0; j < w.Cols; j++ {
+		v := w.Value(i, j)
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(w.Cols))
+}
+
+
+// SortNeurons reorders the rows of a weight matrix (each row = one
+// output neuron) by ascending RMS scale, a permutation-invariant
+// transformation (§V, cf. PIT [46]): the layer computes the same set of
+// outputs, just in a different order. Within-row weight order is
+// untouched, so each neuron's function is bit-identical.
+//
+// Note: for the layer's *own* GEMM this reordering is power-neutral —
+// the kernel streams operands along the reduction dimension, which row
+// order does not touch. Its value is as the compensation step for
+// SortReductionDim applied to the *next* layer: permuting this layer's
+// output neurons is exactly what permutes the next layer's reduction
+// dimension.
+func SortNeurons(w *matrix.Matrix) SortNeuronsResult {
+	perm := rmsOrder(w)
+	applyRowPerm(w, perm)
+	return SortNeuronsResult{Perm: perm}
+}
+
+// rmsOrder returns row indices ordered by ascending row RMS.
+func rmsOrder(w *matrix.Matrix) []int {
+	keys := make([]float64, w.Rows)
+	for i := 0; i < w.Rows; i++ {
+		keys[i] = rowRMS(w, i)
+	}
+	perm := make([]int, w.Rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	return perm
+}
+
+func applyRowPerm(w *matrix.Matrix, perm []int) {
+	orig := w.Clone()
+	for newIdx, origIdx := range perm {
+		copy(w.Row(newIdx), orig.Row(origIdx))
+	}
+}
+
+// SortReductionDimResult carries the permutation of the shared K
+// dimension.
+type SortReductionDimResult struct {
+	// Perm maps new k index → original k index. The same permutation
+	// must be applied to the other operand's columns (for activations
+	// A this happens for free when the previous layer's neurons are
+	// permuted with SortNeuronsByPerm).
+	Perm []int
+}
+
+// SortReductionDim reorders the rows of an operand-layout weight matrix
+// W (K, M) — the reduction dimension the GEMM kernel streams through
+// the datapath — by ascending row RMS. Grouping similarly-scaled rows
+// makes consecutive operands share exponent and high-mantissa bits,
+// cutting operand-bus toggles (§IV-C).
+//
+// The transformation is computation-preserving when the producer of the
+// K-dimension activations permutes its output neurons identically
+// (permutation-invariant transformation, §V / PIT [46]): each output
+// element still sums exactly the same products, merely in a different
+// order.
+func SortReductionDim(w *matrix.Matrix) SortReductionDimResult {
+	perm := rmsOrder(w)
+	applyRowPerm(w, perm)
+	return SortReductionDimResult{Perm: perm}
+}
+
+// SortNeuronsByPerm applies a given row permutation (new → old) to a
+// weight matrix — the upstream compensation for SortReductionDim.
+func SortNeuronsByPerm(w *matrix.Matrix, perm []int) error {
+	if len(perm) != w.Rows {
+		return fmt.Errorf("optimize: permutation length %d does not match rows %d", len(perm), w.Rows)
+	}
+	applyRowPerm(w, perm)
+	return nil
+}
+
+// PermuteColumns applies a column permutation (new → old) to a matrix —
+// how an activation matrix follows its producer's neuron reordering.
+func PermuteColumns(m *matrix.Matrix, perm []int) error {
+	if len(perm) != m.Cols {
+		return fmt.Errorf("optimize: permutation length %d does not match cols %d", len(perm), m.Cols)
+	}
+	orig := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		origRow := orig.Row(i)
+		for newJ, origJ := range perm {
+			row[newJ] = origRow[origJ]
+		}
+	}
+	return nil
+}
+
+// UnpermuteOutputs restores the original output order of a vector
+// produced by a SortNeurons-transformed layer.
+func UnpermuteOutputs(perm []int, outputs []float64) ([]float64, error) {
+	if len(perm) != len(outputs) {
+		return nil, fmt.Errorf("optimize: permutation length %d does not match outputs %d",
+			len(perm), len(outputs))
+	}
+	restored := make([]float64, len(outputs))
+	for newIdx, origIdx := range perm {
+		restored[origIdx] = outputs[newIdx]
+	}
+	return restored, nil
+}
+
+// SortWithinNeurons sorts the weights inside each row. This is NOT
+// computation-preserving for a plain linear layer (inputs would need
+// the matching per-row permutation); it exists to quantify the upper
+// bound of placement savings (§IV-C Fig. 5d) for architectures that can
+// permute per-neuron inputs (e.g. via gather indices).
+func SortWithinNeurons(w *matrix.Matrix) {
+	matrix.SortWithinRows(w, 1)
+}
+
+// PruneResult describes a sparsity mask application.
+type PruneResult struct {
+	// Pruned is the number of weights set to zero.
+	Pruned int
+	// TargetSparsity and AchievedSparsity in [0,1].
+	TargetSparsity   float64
+	AchievedSparsity float64
+}
+
+// MagnitudePrune zeroes the fraction of weights with the smallest
+// absolute values — the classic accuracy-friendly mask — which §IV-D
+// shows also reduces power (T12). Ties break deterministically by
+// position.
+func MagnitudePrune(w *matrix.Matrix, sparsity float64) PruneResult {
+	if sparsity < 0 {
+		sparsity = 0
+	}
+	if sparsity > 1 {
+		sparsity = 1
+	}
+	n := len(w.Bits)
+	k := int(sparsity*float64(n) + 0.5)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	vals := w.Values()
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return abs(vals[idx[a]]) < abs(vals[idx[b]]) })
+	for _, i := range idx[:k] {
+		w.Bits[i] = 0
+	}
+	zeros := 0
+	for _, b := range w.Bits {
+		if b == 0 {
+			zeros++
+		}
+	}
+	return PruneResult{
+		Pruned:           k,
+		TargetSparsity:   sparsity,
+		AchievedSparsity: float64(zeros) / float64(n),
+	}
+}
+
+// RandomPrune zeroes a uniformly random fraction of weights, the
+// baseline mask MagnitudePrune is compared against.
+func RandomPrune(w *matrix.Matrix, src *rng.Source, sparsity float64) PruneResult {
+	before := w.NonZeroFraction()
+	matrix.Sparsify(w, src, sparsity)
+	after := w.NonZeroFraction()
+	n := len(w.Bits)
+	return PruneResult{
+		Pruned:           int((before - after) * float64(n)),
+		TargetSparsity:   sparsity,
+		AchievedSparsity: 1 - after,
+	}
+}

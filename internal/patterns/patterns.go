@@ -1,0 +1,168 @@
+// Package patterns defines the input-data constructions of the paper's
+// experiments (§IV) as composable, named pattern pipelines, plus the
+// small domain-specific language §V proposes for describing data
+// patterns to an input-dependent power model.
+//
+// A Pattern fills one operand matrix from a seeded stream. Experiments
+// apply the same pattern to A and B with different streams (§III: "both
+// A and B matrices use the same pattern ... The A and B matrices use
+// different seeds").
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+// Pattern is a named input-data construction.
+type Pattern struct {
+	// Name identifies the pattern in result tables, e.g.
+	// "gaussian(mean=0,std=210)|sort(rows,50%)".
+	Name string
+	// Fill populates m using the given random stream.
+	Fill func(m *matrix.Matrix, src *rng.Source)
+}
+
+// Apply fills the matrix.
+func (p Pattern) Apply(m *matrix.Matrix, src *rng.Source) { p.Fill(m, src) }
+
+// Then composes a transform after this pattern's fill.
+func (p Pattern) Then(name string, f func(m *matrix.Matrix, src *rng.Source)) Pattern {
+	return Pattern{
+		Name: p.Name + "|" + name,
+		Fill: func(m *matrix.Matrix, src *rng.Source) {
+			p.Fill(m, src)
+			f(m, src)
+		},
+	}
+}
+
+// Gaussian fills with Gaussian variates (§IV-A).
+func Gaussian(mean, std float64) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("gaussian(mean=%g,std=%g)", mean, std),
+		Fill: func(m *matrix.Matrix, src *rng.Source) {
+			matrix.FillGaussian(m, src, mean, std)
+		},
+	}
+}
+
+// GaussianDefault fills with the paper's default distribution for the
+// matrix's datatype: mean 0, σ = 210 for FP, σ = 25 for INT8.
+func GaussianDefault() Pattern {
+	return Pattern{
+		Name: "gaussian(default)",
+		Fill: func(m *matrix.Matrix, src *rng.Source) {
+			matrix.FillGaussian(m, src, 0, matrix.DefaultStd(m.DType))
+		},
+	}
+}
+
+// FromSet fills with values drawn uniformly (with replacement) from a
+// set of n Gaussian variates (§IV-A "inputs from a set"). The set
+// itself is drawn from the same stream, so different seeds give
+// different sets.
+func FromSet(n int, mean, std float64) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("set(n=%d,mean=%g,std=%g)", n, mean, std),
+		Fill: func(m *matrix.Matrix, src *rng.Source) {
+			set := matrix.GaussianSet(src, n, mean, std)
+			matrix.FillFromSet(m, src, set)
+		},
+	}
+}
+
+// ConstantRandom fills the whole matrix with a single Gaussian draw
+// (§IV-B: "the A matrix is initially filled with one random value and
+// the B matrix is filled with another random value").
+func ConstantRandom(mean, std float64) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("constant(random,mean=%g,std=%g)", mean, std),
+		Fill: func(m *matrix.Matrix, src *rng.Source) {
+			matrix.FillConstant(m, src.Gaussian(mean, std))
+		},
+	}
+}
+
+// Uniform fills with uniform variates in [lo, hi).
+func Uniform(lo, hi float64) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("uniform(%g,%g)", lo, hi),
+		Fill: func(m *matrix.Matrix, src *rng.Source) {
+			matrix.FillUniform(m, src, lo, hi)
+		},
+	}
+}
+
+// Constant fills with a fixed value.
+func Constant(v float64) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("constant(%g)", v),
+		Fill: func(m *matrix.Matrix, _ *rng.Source) { matrix.FillConstant(m, v) },
+	}
+}
+
+// BitFlips applies independent per-bit flips with probability p
+// (§IV-B Fig. 4a) after the base pattern.
+func (p Pattern) BitFlips(prob float64) Pattern {
+	return p.Then(fmt.Sprintf("flip(p=%g)", prob),
+		func(m *matrix.Matrix, src *rng.Source) { matrix.RandomBitFlips(m, src, prob) })
+}
+
+// RandomLSBs randomizes the n least significant bits (Fig. 4b).
+func (p Pattern) RandomLSBs(n int) Pattern {
+	return p.Then(fmt.Sprintf("randlsb(%d)", n),
+		func(m *matrix.Matrix, src *rng.Source) { matrix.RandomizeLSBs(m, src, n) })
+}
+
+// RandomMSBs randomizes the n most significant bits (Fig. 4c).
+func (p Pattern) RandomMSBs(n int) Pattern {
+	return p.Then(fmt.Sprintf("randmsb(%d)", n),
+		func(m *matrix.Matrix, src *rng.Source) { matrix.RandomizeMSBs(m, src, n) })
+}
+
+// SortKind selects one of the §IV-C placement transforms.
+type SortKind string
+
+const (
+	SortRows       SortKind = "rows"
+	SortCols       SortKind = "cols"
+	SortWithinRows SortKind = "withinrows"
+)
+
+// Sorted applies a partial sort (Fig. 5) after the base pattern.
+func (p Pattern) Sorted(kind SortKind, frac float64) Pattern {
+	return p.Then(fmt.Sprintf("sort(%s,%g%%)", kind, frac*100),
+		func(m *matrix.Matrix, _ *rng.Source) {
+			switch kind {
+			case SortRows:
+				matrix.SortIntoRows(m, frac)
+			case SortCols:
+				matrix.SortIntoCols(m, frac)
+			case SortWithinRows:
+				matrix.SortWithinRows(m, frac)
+			default:
+				panic(fmt.Sprintf("patterns: unknown sort kind %q", kind))
+			}
+		})
+}
+
+// Sparse zeroes a random fraction of elements (Fig. 6a/6b).
+func (p Pattern) Sparse(frac float64) Pattern {
+	return p.Then(fmt.Sprintf("sparsify(%g%%)", frac*100),
+		func(m *matrix.Matrix, src *rng.Source) { matrix.Sparsify(m, src, frac) })
+}
+
+// ZeroLSBs clears the n least significant bits (Fig. 6c).
+func (p Pattern) ZeroLSBs(n int) Pattern {
+	return p.Then(fmt.Sprintf("zerolsb(%d)", n),
+		func(m *matrix.Matrix, _ *rng.Source) { matrix.ZeroLSBs(m, n) })
+}
+
+// ZeroMSBs clears the n most significant bits (Fig. 6d).
+func (p Pattern) ZeroMSBs(n int) Pattern {
+	return p.Then(fmt.Sprintf("zeromsb(%d)", n),
+		func(m *matrix.Matrix, _ *rng.Source) { matrix.ZeroMSBs(m, n) })
+}

@@ -1,0 +1,109 @@
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/stats"
+)
+
+// This file implements the paper's §V future-work direction of
+// input-dependent GPU power models: a model that takes a description of
+// the input data pattern (here, its activity features) and estimates the
+// power draw. Because the simulator's power is linear in the activity
+// rates, an ordinary-least-squares fit over measured configurations
+// recovers the datapath energy coefficients — which is exactly what such
+// a fit would estimate on real hardware if the paper's bit-flip
+// hypothesis holds.
+
+// NumFeatures is the length of a FeatureVector.
+const NumFeatures = 7
+
+// FeatureVector is the regression input for one measured configuration:
+// a constant term plus the six activity-event rates in tera-events per
+// second (issue/MACs, operand toggles, partial products, product
+// toggles, accumulator toggles, stream toggles).
+type FeatureVector [NumFeatures]float64
+
+// FeaturesOf extracts the feature vector from an activity report and
+// its simulated operating point. Rates use the duty-weighted iteration
+// time so that the features describe what an external power meter sees.
+func FeaturesOf(rep *activity.Report, res *Result) FeatureVector {
+	ratePerS := 1.0 / res.IterTimeS
+	// Scale event counts to tera-events/s so that the fitted weights are
+	// in watts per tera-event/s = picojoules per event.
+	const tera = 1e-12
+	return FeatureVector{
+		1,
+		float64(rep.MACs) * ratePerS * tera,
+		float64(rep.OperandToggles) * ratePerS * tera,
+		float64(rep.MultPPUnits) * ratePerS * tera,
+		rep.ProductToggles * ratePerS * tera,
+		rep.AccumToggles * ratePerS * tera,
+		float64(rep.StreamToggles) * ratePerS * tera,
+	}
+}
+
+// Sample pairs a feature vector with an observed average power.
+type Sample struct {
+	Features FeatureVector
+	PowerW   float64
+}
+
+// Predictor is a fitted linear input-dependent power model. Weights[0]
+// is the static power estimate in watts; Weights[1..6] are per-event
+// energies in picojoules.
+type Predictor struct {
+	Weights [NumFeatures]float64
+}
+
+// Train fits a predictor to the samples by least squares. It needs at
+// least NumFeatures linearly independent samples.
+func Train(samples []Sample) (*Predictor, error) {
+	if len(samples) < NumFeatures {
+		return nil, fmt.Errorf("power: need at least %d samples, got %d", NumFeatures, len(samples))
+	}
+	rows := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		row := make([]float64, NumFeatures)
+		copy(row, s.Features[:])
+		rows[i] = row
+		ys[i] = s.PowerW
+	}
+	w, err := stats.MultiFit(rows, ys)
+	if err != nil {
+		// Collinear corpora are common (e.g. stream toggles are an
+		// exact multiple of operand toggles at tile-aligned sizes);
+		// fall back to lightly regularized ridge regression, which
+		// keeps predictions exact and splits tied weights arbitrarily.
+		w, err = stats.RidgeFit(rows, ys, 1e-6)
+		if err != nil {
+			return nil, fmt.Errorf("power: training failed: %w", err)
+		}
+	}
+	var p Predictor
+	copy(p.Weights[:], w)
+	return &p, nil
+}
+
+// Predict returns the estimated average power for a feature vector.
+func (p *Predictor) Predict(f FeatureVector) float64 {
+	var sum float64
+	for i, w := range p.Weights {
+		sum += w * f[i]
+	}
+	return sum
+}
+
+// RSquared evaluates the predictor's coefficient of determination on a
+// sample set.
+func (p *Predictor) RSquared(samples []Sample) float64 {
+	pred := make([]float64, len(samples))
+	obs := make([]float64, len(samples))
+	for i, s := range samples {
+		pred[i] = p.Predict(s.Features)
+		obs[i] = s.PowerW
+	}
+	return stats.RSquared(pred, obs)
+}

@@ -1,0 +1,162 @@
+// Package softfloat implements the datatype machinery the reproduction
+// needs at the bit level: IEEE 754 binary16 (half precision) with
+// round-to-nearest-even conversions and arithmetic, FP32 bit-field
+// helpers, and saturating INT8 conversion.
+//
+// The paper's experiments generate all floating-point inputs as FP32
+// values and convert them to each datatype with round-to-nearest; the
+// GEMM kernels then operate natively in each type (FP16 accumulate for
+// plain FP16, FP32 accumulate for tensor-core FP16, INT32 accumulate for
+// INT8). Go has no float16, so binary16 is implemented here from
+// scratch.
+//
+// Correctness note: binary32 carries 24 significand bits, which is at
+// least 2·11+2, so binary16 add/sub/mul/div computed exactly in binary32
+// and then rounded to binary16 is correctly rounded (no double-rounding
+// hazard). Add16 and Mul16 rely on this.
+package softfloat
+
+import "math"
+
+// Binary16 field layout constants.
+const (
+	F16SignMask uint16 = 0x8000
+	F16ExpMask  uint16 = 0x7C00
+	F16MantMask uint16 = 0x03FF
+	F16ExpBias         = 15
+	F16MantBits        = 10
+
+	f16Inf  uint16 = 0x7C00
+	f16QNaN uint16 = 0x7E00
+)
+
+// F32ToF16 converts an FP32 value to binary16 with round-to-nearest-even
+// semantics, handling subnormals, overflow to infinity, and NaN
+// quieting. This mirrors the numeric conversion the paper applies when
+// deriving FP16 inputs from generated FP32 values.
+func F32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & F16SignMask
+	exp := int32(b>>23) & 0xFF
+	mant := b & 0x7FFFFF
+
+	if exp == 0xFF {
+		if mant != 0 {
+			return sign | f16QNaN
+		}
+		return sign | f16Inf
+	}
+
+	e := exp - 127 + F16ExpBias
+	switch {
+	case e >= 0x1F:
+		// Overflows binary16 range: round to infinity.
+		return sign | f16Inf
+	case e <= 0:
+		// Subnormal or zero result.
+		if e < -10 {
+			// Below half of the smallest subnormal: rounds to zero.
+			return sign
+		}
+		m := mant | 0x800000 // restore hidden bit
+		shift := uint32(14 - e)
+		rounded := m >> shift
+		rem := m & (uint32(1)<<shift - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && rounded&1 == 1) {
+			rounded++
+		}
+		// A carry out of the subnormal mantissa lands exactly on the
+		// smallest normal encoding, so plain addition is correct.
+		return sign + uint16(rounded)
+	default:
+		rounded := mant >> 13
+		rem := mant & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && rounded&1 == 1) {
+			rounded++
+		}
+		// Addition (not OR) lets a mantissa carry bump the exponent; a
+		// carry from the top exponent value yields the infinity
+		// encoding, which is the correct RNE overflow behaviour.
+		return sign + uint16(e)<<F16MantBits + uint16(rounded)
+	}
+}
+
+// F16ToF32 converts a binary16 value to FP32 exactly (every binary16
+// value is representable in binary32).
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&F16SignMask) << 16
+	exp := uint32(h&F16ExpMask) >> F16MantBits
+	mant := uint32(h & F16MantMask)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: value is mant·2⁻²⁴, which is exact in binary32
+		// (mant has at most 10 bits and 2⁻²⁴ is a normal FP32 value).
+		f := float32(mant) / (1 << 24)
+		if sign != 0 {
+			f = -f
+		}
+		return f
+	case 0x1F:
+		if mant != 0 {
+			return math.Float32frombits(sign | 0x7FC00000) // quiet NaN
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// F16MantMaskU32 returns the binary16 mantissa mask widened to uint32.
+func F16MantMaskU32() uint32 { return uint32(F16MantMask) }
+
+// Mul16 returns the correctly rounded binary16 product of two binary16
+// values.
+func Mul16(a, b uint16) uint16 {
+	return F32ToF16(F16ToF32(a) * F16ToF32(b))
+}
+
+// Add16 returns the correctly rounded binary16 sum of two binary16
+// values.
+func Add16(a, b uint16) uint16 {
+	return F32ToF16(F16ToF32(a) + F16ToF32(b))
+}
+
+// FMA16 performs a fused multiply-add entirely in binary16 precision:
+// round16(round16(a*b) + c). This models the plain (non-tensor-core)
+// FP16 GEMM datapath, which accumulates in FP16.
+func FMA16(a, b, c uint16) uint16 {
+	return Add16(Mul16(a, b), c)
+}
+
+// FMA16To32 performs the tensor-core MMA step: binary16 operands
+// multiplied exactly and accumulated into an FP32 register. The product
+// of two binary16 values is exact in binary32.
+func FMA16To32(a, b uint16, acc float32) float32 {
+	return acc + F16ToF32(a)*F16ToF32(b)
+}
+
+// IsNaN16 reports whether h encodes a binary16 NaN.
+func IsNaN16(h uint16) bool {
+	return h&F16ExpMask == F16ExpMask && h&F16MantMask != 0
+}
+
+// IsInf16 reports whether h encodes a binary16 infinity of either sign.
+func IsInf16(h uint16) bool {
+	return h&0x7FFF == f16Inf
+}
+
+// Significand16 returns the 11-bit significand of h including the hidden
+// bit for normal numbers (subnormals have no hidden bit). This is the
+// operand magnitude pattern that drives multiplier-array activity.
+func Significand16(h uint16) uint32 {
+	mant := uint32(h & F16MantMask)
+	if h&F16ExpMask != 0 {
+		mant |= 1 << F16MantBits
+	}
+	return mant
+}

@@ -1,0 +1,343 @@
+package softfloat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// refF32ToF16 is an independent reference conversion using float64
+// arithmetic and strconv-free logic, exercised against the bit-twiddling
+// implementation.
+func refF32ToF16(f float32) uint16 {
+	d := float64(f)
+	sign := uint16(0)
+	if math.Signbit(d) {
+		sign = 0x8000
+	}
+	ad := math.Abs(d)
+	switch {
+	case math.IsNaN(d):
+		return sign | 0x7E00
+	case math.IsInf(d, 0):
+		return sign | 0x7C00
+	case ad == 0:
+		return sign
+	}
+	// Round to the binary16 grid using float64 (exact for all binary32
+	// inputs: float64 has plenty of precision).
+	// Overflow threshold: values >= 65520 round to +inf.
+	if ad >= 65520 {
+		return sign | 0x7C00
+	}
+	exp := math.Floor(math.Log2(ad))
+	e := int(exp)
+	if e < -14 {
+		e = -14 // subnormal range
+	}
+	scale := math.Ldexp(1, 10-e)
+	scaled := ad * scale
+	r := math.RoundToEven(scaled)
+	// Renormalize if rounding crossed a binade.
+	if r >= 2048 && e >= -14 {
+		r /= 2
+		e++
+		if e > 15 {
+			return sign | 0x7C00
+		}
+	}
+	if e == -14 && r < 1024 {
+		// Subnormal encoding.
+		return sign | uint16(r)
+	}
+	return sign | uint16(e+15)<<10 | uint16(int(r)-1024)
+}
+
+func TestF32ToF16KnownValues(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},                   // largest normal binary16
+		{65520, 0x7C00},                   // rounds to +inf
+		{100000, 0x7C00},                  // overflow
+		{5.960464477539063e-08, 0x0001},   // smallest subnormal
+		{6.097555160522461e-05, 0x03FF},   // largest subnormal
+		{6.103515625e-05, 0x0400},         // smallest normal
+		{2.980232238769531e-08, 0x0000},   // exactly half ULP rounds to even (0)
+		{2.9802322387695312e-08, 0x0000},  // same value
+		{1.0009765625, 0x3C01},            // 1 + 2^-10
+		{float32(math.Inf(1)), 0x7C00},    // +inf
+		{float32(math.Inf(-1)), 0xFC00},   // -inf
+		{float32(math.NaN()), 0x7E00},     // NaN quiets
+		{0.333251953125, 0x3555},          // closest f16 to 1/3
+		{-210.0, 0xDA90},                  // paper's FP stddev scale
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.in); got != c.want {
+			t.Errorf("F32ToF16(%g) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestF16ToF32KnownValues(t *testing.T) {
+	cases := []struct {
+		in   uint16
+		want float32
+	}{
+		{0x0000, 0},
+		{0x3C00, 1},
+		{0xBC00, -1},
+		{0x4000, 2},
+		{0x3800, 0.5},
+		{0x7BFF, 65504},
+		{0x0001, 5.960464477539063e-08},
+		{0x03FF, 6.097555160522461e-05},
+		{0x0400, 6.103515625e-05},
+	}
+	for _, c := range cases {
+		if got := F16ToF32(c.in); got != c.want {
+			t.Errorf("F16ToF32(%#04x) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsInf(float64(F16ToF32(0x7C00)), 1) {
+		t.Error("0x7C00 should decode to +inf")
+	}
+	if !math.IsInf(float64(F16ToF32(0xFC00)), -1) {
+		t.Error("0xFC00 should decode to -inf")
+	}
+	if v := F16ToF32(0x7E00); v == v {
+		t.Error("0x7E00 should decode to NaN")
+	}
+	if math.Signbit(float64(F16ToF32(0x8000))) != true {
+		t.Error("0x8000 should decode to -0")
+	}
+}
+
+func TestRoundTripAllF16(t *testing.T) {
+	// Every finite binary16 value must survive a round trip through FP32
+	// exactly.
+	for h := uint32(0); h <= 0xFFFF; h++ {
+		hb := uint16(h)
+		if IsNaN16(hb) {
+			continue
+		}
+		back := F32ToF16(F16ToF32(hb))
+		// -0 and +0 keep their signs; everything else must be identical.
+		if back != hb {
+			t.Fatalf("round trip failed: %#04x -> %g -> %#04x", hb, F16ToF32(hb), back)
+		}
+	}
+}
+
+func TestConversionMatchesReference(t *testing.T) {
+	f := func(b uint32) bool {
+		v := math.Float32frombits(b)
+		if v != v { // NaN payloads quiet differently; skip
+			return true
+		}
+		return F32ToF16(v) == refF32ToF16(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConversionMonotone(t *testing.T) {
+	// RNE conversion must be monotone non-decreasing on finite positives.
+	f := func(a, b float32) bool {
+		if a != a || b != b {
+			return true
+		}
+		x, y := a, b
+		if x > y {
+			x, y = y, x
+		}
+		hx, hy := F32ToF16(x), F16ToF32(F32ToF16(y))
+		_ = hy
+		return F16ToF32(hx) <= F16ToF32(F32ToF16(y)) ||
+			math.IsNaN(float64(F16ToF32(hx)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConversionErrorBound(t *testing.T) {
+	// |x - round16(x)| <= ulp16(x)/2 for values in the normal range.
+	f := func(b uint32) bool {
+		v := math.Float32frombits(b & 0x7FFFFFFF)
+		if v != v || v < 6.2e-5 || v > 65504 {
+			return true
+		}
+		h := F16ToF32(F32ToF16(v))
+		exp := math.Floor(math.Log2(float64(v)))
+		ulp := math.Ldexp(1, int(exp)-10)
+		return math.Abs(float64(h)-float64(v)) <= ulp/2+1e-30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul16(t *testing.T) {
+	two := F32ToF16(2)
+	three := F32ToF16(3)
+	if got := F16ToF32(Mul16(two, three)); got != 6 {
+		t.Errorf("2*3 = %g, want 6", got)
+	}
+	// Overflow saturates to infinity.
+	big := F32ToF16(60000)
+	if !IsInf16(Mul16(big, two)) {
+		t.Error("60000*2 should overflow to inf")
+	}
+	// Multiplication by zero gates to zero.
+	if Mul16(0, three) != 0 {
+		t.Error("0*3 should be +0")
+	}
+}
+
+func TestAdd16(t *testing.T) {
+	one := F32ToF16(1)
+	if got := F16ToF32(Add16(one, one)); got != 2 {
+		t.Errorf("1+1 = %g, want 2", got)
+	}
+	// FP16 accumulation loses small addends: 2048 + 1 == 2048 in
+	// binary16 (ULP at 2048 is 2). This asymmetry is why plain FP16
+	// GEMM and tensor-core FP32 accumulation differ.
+	n2048 := F32ToF16(2048)
+	if got := F16ToF32(Add16(n2048, one)); got != 2048 {
+		t.Errorf("2048+1 in fp16 = %g, want 2048 (absorbed)", got)
+	}
+}
+
+func TestMul16CorrectlyRounded(t *testing.T) {
+	// Against float64 reference with explicit RNE to the f16 grid.
+	f := func(x, y uint16) bool {
+		if IsNaN16(x) || IsNaN16(y) || IsInf16(x) || IsInf16(y) {
+			return true
+		}
+		want := F32ToF16(float32(float64(F16ToF32(x)) * float64(F16ToF32(y))))
+		return Mul16(x, y) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFMA16To32Exact(t *testing.T) {
+	// The product of two binary16 values is exact in binary32.
+	a := F32ToF16(1.5)
+	b := F32ToF16(2.25)
+	acc := FMA16To32(a, b, 0)
+	if acc != 3.375 {
+		t.Errorf("tensor-core FMA = %g, want 3.375", acc)
+	}
+	// Accumulation retains small addends that FP16 would absorb.
+	acc = FMA16To32(F32ToF16(2048), F32ToF16(1), FMA16To32(F32ToF16(1), F32ToF16(1), 0))
+	if acc != 2049 {
+		t.Errorf("fp32 accumulate = %g, want 2049", acc)
+	}
+}
+
+func TestSignificand16(t *testing.T) {
+	if got := Significand16(F32ToF16(1)); got != 0x400 {
+		t.Errorf("significand of 1.0 = %#x, want 0x400 (hidden bit only)", got)
+	}
+	if got := Significand16(0x0001); got != 1 {
+		t.Errorf("subnormal significand = %#x, want 1 (no hidden bit)", got)
+	}
+	if got := Significand16(0); got != 0 {
+		t.Errorf("zero significand = %#x, want 0", got)
+	}
+}
+
+func TestSignificand32(t *testing.T) {
+	if got := Significand32(F32Bits(1)); got != 1<<23 {
+		t.Errorf("significand of 1.0f = %#x", got)
+	}
+	if got := Significand32(0); got != 0 {
+		t.Errorf("zero significand = %#x, want 0", got)
+	}
+}
+
+func TestF32ToI8(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want int8
+	}{
+		{0, 0},
+		{1.4, 1},
+		{1.5, 2},   // round half to even
+		{2.5, 2},   // round half to even
+		{-1.5, -2}, // round half to even
+		{-2.5, -2},
+		{127.4, 127},
+		{300, 127},    // saturate high
+		{-300, -128},  // saturate low
+		{-128.4, -128},
+		{float32(math.NaN()), 0},
+	}
+	for _, c := range cases {
+		if got := F32ToI8(c.in); got != c.want {
+			t.Errorf("F32ToI8(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestI8Magnitude(t *testing.T) {
+	if I8Magnitude(-128) != 128 {
+		t.Error("magnitude of MinInt8 should be 128")
+	}
+	if I8Magnitude(127) != 127 {
+		t.Error("magnitude of 127 should be 127")
+	}
+	if I8Magnitude(-1) != 1 {
+		t.Error("magnitude of -1 should be 1")
+	}
+	if I8Magnitude(0) != 0 {
+		t.Error("magnitude of 0 should be 0")
+	}
+}
+
+func TestI8Bits(t *testing.T) {
+	if I8Bits(-1) != 0xFF {
+		t.Error("two's complement of -1 should be 0xFF")
+	}
+	if I8Bits(1) != 0x01 {
+		t.Error("bits of 1 should be 0x01")
+	}
+}
+
+func TestDotI8(t *testing.T) {
+	acc := DotI8(100, 100, 0)
+	if acc != 10000 {
+		t.Errorf("100*100 = %d, want 10000 (no int8 overflow)", acc)
+	}
+	acc = DotI8(-128, -128, acc)
+	if acc != 10000+16384 {
+		t.Errorf("accumulate = %d", acc)
+	}
+}
+
+func BenchmarkF32ToF16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = F32ToF16(float32(i) * 0.1)
+	}
+}
+
+func BenchmarkFMA16(b *testing.B) {
+	x := F32ToF16(1.5)
+	y := F32ToF16(0.75)
+	acc := uint16(0)
+	for i := 0; i < b.N; i++ {
+		acc = FMA16(x, y, acc)
+	}
+	_ = acc
+}

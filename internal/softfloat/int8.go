@@ -1,0 +1,42 @@
+package softfloat
+
+import "math"
+
+// F32ToI8 converts an FP32 value to a signed 8-bit integer with
+// round-to-nearest-even and saturation at the type bounds, matching the
+// "round to nearest value" conversion the paper applies to INT8 inputs.
+func F32ToI8(f float32) int8 {
+	if f != f { // NaN
+		return 0
+	}
+	r := math.RoundToEven(float64(f))
+	switch {
+	case r > 127:
+		return 127
+	case r < -128:
+		return -128
+	default:
+		return int8(r)
+	}
+}
+
+// I8Magnitude returns the magnitude bit pattern of an INT8 value as an
+// unsigned byte. The multiplier-array activity weight for integer
+// operands is the Hamming weight of this magnitude. Minint (-128) maps
+// to 128, which still fits in the returned uint32.
+func I8Magnitude(v int8) uint32 {
+	if v < 0 {
+		return uint32(-int32(v))
+	}
+	return uint32(v)
+}
+
+// I8Bits returns the two's-complement bit pattern of v, the
+// representation that travels on operand buses.
+func I8Bits(v int8) uint32 { return uint32(uint8(v)) }
+
+// DotI8 computes the INT8 dot-product step with INT32 accumulation, the
+// datapath NVIDIA IMMA instructions implement.
+func DotI8(a, b int8, acc int32) int32 {
+	return acc + int32(a)*int32(b)
+}
