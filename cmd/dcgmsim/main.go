@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/activity"
 	"repro/internal/device"
@@ -40,7 +39,7 @@ func main() {
 	if dev == nil {
 		fatalf("unknown device %q", *devName)
 	}
-	dt, ok := parseDType(*dtype)
+	dt, ok := matrix.ParseDType(*dtype)
 	if !ok {
 		fatalf("unknown dtype %q", *dtype)
 	}
@@ -94,23 +93,6 @@ func main() {
 	if meas.Throttled {
 		fmt.Printf("throttled           : yes (%s limiter, clocks at %.0f%%)\n",
 			res.Reason, res.ClockScale*100)
-	}
-}
-
-func parseDType(s string) (matrix.DType, bool) {
-	switch strings.ToUpper(strings.TrimSpace(s)) {
-	case "FP32":
-		return matrix.FP32, true
-	case "FP16":
-		return matrix.FP16, true
-	case "FP16-T", "FP16T":
-		return matrix.FP16T, true
-	case "BF16-T", "BF16T", "BF16":
-		return matrix.BF16T, true
-	case "INT8":
-		return matrix.INT8, true
-	default:
-		return 0, false
 	}
 }
 

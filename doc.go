@@ -5,11 +5,25 @@
 // experiment harness that regenerates every figure of the paper's
 // evaluation.
 //
-// See README.md for the layout and quickstart, DESIGN.md for the system
-// inventory and the hardware-substitution rationale, and EXPERIMENTS.md
-// for paper-versus-measured trends per figure.
+// Beyond the batch reproduction, internal/serve exposes the paper's §V
+// input-dependent power model as a concurrent prediction service: a
+// predictor registry that lazily trains one power.Predictor per
+// (device, dtype) from a reduced experiment sweep, an LRU cache keyed
+// by (device, dtype, canonical pattern, size) that lets repeated
+// queries skip the GEMM-simulation hot path, and a sharded worker pool
+// sized by GOMAXPROCS. cmd/powerserve serves it over HTTP/JSON
+// (/predict, /train, /healthz) and examples/loadgen drives it with a
+// mixed pattern workload, reporting throughput, latency percentiles
+// and cache hit-rate.
+//
+// See README.md for the layout, quickstart and serving architecture,
+// DESIGN.md for the system inventory and the hardware-substitution
+// rationale, and EXPERIMENTS.md for paper-versus-measured trends per
+// figure.
 //
 // The benchmarks in bench_test.go regenerate each figure at a reduced
 // scale (one per table/figure of the paper); cmd/figures runs the
-// full-scale campaign.
+// full-scale campaign. CI (.github/workflows/ci.yml) gates gofmt, vet,
+// build, race tests, and a bench smoke pass whose JSON output is kept
+// as a per-commit BENCH_*.json artifact.
 package repro

@@ -1,0 +1,203 @@
+// Loadgen hammers a running powerserve instance with a mixed
+// input-pattern workload at a fixed concurrency and reports
+// throughput, latency percentiles and the server's cache hit-rate —
+// the ROADMAP's "heavy traffic" scenario in miniature.
+//
+// Start the server, then:
+//
+//	go run ./examples/loadgen -addr http://localhost:8090 -c 64 -n 1024
+//
+// The default workload cycles a small set of patterns, so after the
+// first pass almost every request is a cache hit; -unique switches to
+// all-distinct patterns to measure the uncached simulation path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/patterns"
+)
+
+type predictRequest struct {
+	Device  string `json:"device,omitempty"`
+	DType   string `json:"dtype,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	Size    int    `json:"size,omitempty"`
+}
+
+type healthResponse struct {
+	Status  string           `json:"status"`
+	Metrics map[string]int64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8090", "powerserve base URL")
+		conc     = flag.Int("c", 64, "concurrent requests in flight")
+		total    = flag.Int("n", 1024, "total requests")
+		size     = flag.Int("size", 128, "GEMM dimension per request")
+		dtype    = flag.String("dtype", "FP16", "datatype")
+		patsFlag = flag.String("patterns", "", "semicolon-separated pattern DSLs (default: a mixed set of 8); patterns contain commas, so ';' separates")
+		unique   = flag.Bool("unique", false, "make every request a distinct pattern (all cache misses)")
+	)
+	flag.Parse()
+
+	pats := defaultPatterns()
+	if *patsFlag != "" {
+		pats = strings.Split(*patsFlag, ";")
+	}
+	// Canonicalize client-side: typos fail here with a parse position
+	// instead of as a wall of HTTP 400s, and equivalent spellings
+	// collapse onto the same server cache key.
+	for i, p := range pats {
+		canon, err := patterns.Canonicalize(p)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		pats[i] = canon
+	}
+
+	client := &http.Client{
+		Timeout: 5 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc,
+			MaxIdleConnsPerHost: *conc,
+		},
+	}
+
+	// One warm-up request pays the lazy predictor training so the
+	// measured phase sees steady-state serving latency.
+	if err := predict(client, *addr, predictRequest{
+		DType: *dtype, Pattern: pats[0], Size: *size,
+	}); err != nil {
+		log.Fatalf("loadgen: warm-up request failed: %v", err)
+	}
+	before := health(client, *addr)
+
+	jobs := make(chan int)
+	latencies := make([]time.Duration, *total)
+	errs := make([]error, *total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pat := pats[i%len(pats)]
+				if *unique {
+					pat = fmt.Sprintf("constant(%d)", i)
+				}
+				t0 := time.Now()
+				errs[i] = predict(client, *addr, predictRequest{
+					DType: *dtype, Pattern: pat, Size: *size,
+				})
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	for i := 0; i < *total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var failed int
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	after := health(client, *addr)
+
+	fmt.Printf("loadgen: %d requests, %d in flight, %d patterns, size %d, dtype %s\n",
+		*total, *conc, len(pats), *size, *dtype)
+	fmt.Printf("  elapsed     : %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput  : %.0f req/s\n", float64(*total)/elapsed.Seconds())
+	fmt.Printf("  latency p50 : %v\n", percentile(latencies, 0.50))
+	fmt.Printf("  latency p90 : %v\n", percentile(latencies, 0.90))
+	fmt.Printf("  latency p99 : %v\n", percentile(latencies, 0.99))
+	fmt.Printf("  failures    : %d\n", failed)
+
+	if before != nil && after != nil {
+		hits := after.Metrics["serve.cache.hits"] - before.Metrics["serve.cache.hits"]
+		misses := after.Metrics["serve.cache.misses"] - before.Metrics["serve.cache.misses"]
+		if hits+misses > 0 {
+			fmt.Printf("  cache hits  : %d/%d (%.1f%%)\n",
+				hits, hits+misses, 100*float64(hits)/float64(hits+misses))
+		}
+		fmt.Printf("  simulations : %d\n", after.Metrics["serve.simulations"]-before.Metrics["serve.simulations"])
+		fmt.Printf("  queue depth : max %d\n", after.Metrics["serve.queue.depth.max"])
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// defaultPatterns spans the paper's input axes so the workload mixes
+// cheap and expensive bit patterns.
+func defaultPatterns() []string {
+	return []string{
+		"gaussian(default)",
+		"gaussian(mean=500, std=1)",
+		"constant(7)",
+		"constant(random)",
+		"set(n=4, mean=0, std=210)",
+		"gaussian(default) | sparsify(50%)",
+		"gaussian(default) | sort(rows, 100%)",
+		"gaussian(default) | zerolsb(8)",
+	}
+}
+
+func predict(client *http.Client, addr string, req predictRequest) error {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(addr+"/predict", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+func health(client *http.Client, addr string) *healthResponse {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		log.Printf("loadgen: healthz: %v", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		log.Printf("loadgen: healthz decode: %v", err)
+		return nil
+	}
+	return &hr
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -24,13 +24,13 @@ func main() {
 	opts.SampleOutputs = 128
 
 	inputs := []string{
-		"gaussian(default)",                  // the paper's baseline
-		"gaussian(mean=500, std=1)",          // T2: large mean
-		"set(n=4, mean=0, std=210)",          // T3: few unique values
-		"constant(random)",                   // T4: maximally similar bits
+		"gaussian(default)",                    // the paper's baseline
+		"gaussian(mean=500, std=1)",            // T2: large mean
+		"set(n=4, mean=0, std=210)",            // T3: few unique values
+		"constant(random)",                     // T4: maximally similar bits
 		"gaussian(default) | sort(rows, 100%)", // T8: sorted placement
-		"gaussian(default) | sparsify(50%)",  // T12: value sparsity
-		"gaussian(default) | zerolsb(8)",     // T14: bit-level sparsity
+		"gaussian(default) | sparsify(50%)",    // T12: value sparsity
+		"gaussian(default) | zerolsb(8)",       // T14: bit-level sparsity
 	}
 
 	fmt.Printf("Input-dependent GEMM power on %s (%v, %dx%d)\n\n",

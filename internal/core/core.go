@@ -62,7 +62,7 @@ type Measurement struct {
 	// the paper's reported quantity.
 	AvgPowerW float64
 	// ModelPowerW is the noise-free steady-state model power.
-	ModelPowerW float64
+	ModelPowerW    float64
 	IterTimeS      float64
 	EnergyPerIterJ float64
 	BusyFrac       float64

@@ -82,7 +82,7 @@ type Device struct {
 	// by the power governor.
 	TDPWatts float64
 	// IdleWatts is the static floor: leakage, HBM refresh, fans, VRM.
-	IdleWatts float64
+	IdleWatts  float64
 	MemoryType string
 	// MemBWGBs is peak memory bandwidth, used by the streaming-energy
 	// term and the roofline check.

@@ -156,3 +156,20 @@ func TestEnergyCoeffsString(t *testing.T) {
 		t.Error("String should not be empty")
 	}
 }
+
+func TestNamesMatchPresets(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatalf("Names returned %d entries for %d presets", len(names), len(All()))
+	}
+	for _, name := range names {
+		d := ByName(name)
+		if d == nil {
+			t.Errorf("ByName(%q) = nil for a listed preset", name)
+			continue
+		}
+		if d.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, d.Name)
+		}
+	}
+}

@@ -215,6 +215,17 @@ func All() []*Device {
 	return []*Device{V100SXM2(), A100PCIe(), H100SXM(), RTX6000()}
 }
 
+// Names returns the preset device names in Fig. 7 order, for CLI help
+// strings and service discovery endpoints.
+func Names() []string {
+	devs := All()
+	names := make([]string, len(devs))
+	for i, d := range devs {
+		names[i] = d.Name
+	}
+	return names
+}
+
 // ByName returns the preset with the given name, or nil.
 func ByName(name string) *Device {
 	for _, d := range All() {

@@ -13,6 +13,7 @@ package matrix
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/softfloat"
 )
@@ -56,6 +57,25 @@ func (d DType) String() string {
 		return "BF16-T"
 	default:
 		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// ParseDType parses a datatype name as the paper spells it ("FP16-T")
+// or without the dash ("FP16T"), case-insensitively.
+func ParseDType(s string) (DType, bool) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "FP32":
+		return FP32, true
+	case "FP16":
+		return FP16, true
+	case "FP16-T", "FP16T":
+		return FP16T, true
+	case "BF16-T", "BF16T", "BF16":
+		return BF16T, true
+	case "INT8":
+		return INT8, true
+	default:
+		return 0, false
 	}
 }
 

@@ -612,3 +612,34 @@ func TestNonZeroFraction(t *testing.T) {
 		t.Error("one of four should report 0.25")
 	}
 }
+
+func TestParseDType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DType
+		ok   bool
+	}{
+		{"FP32", FP32, true},
+		{"fp16", FP16, true},
+		{"FP16-T", FP16T, true},
+		{" fp16t ", FP16T, true},
+		{"BF16", BF16T, true},
+		{"bf16-t", BF16T, true},
+		{"INT8", INT8, true},
+		{"FP64", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseDType(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseDType(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	// Round trip: every dtype's String parses back to itself.
+	for _, dt := range ExtendedDTypes {
+		got, ok := ParseDType(dt.String())
+		if !ok || got != dt {
+			t.Errorf("ParseDType(%q) = %v, %v; want %v", dt.String(), got, ok, dt)
+		}
+	}
+}

@@ -66,7 +66,6 @@ func rowRMS(w *matrix.Matrix, i int) float64 {
 	return math.Sqrt(sum / float64(w.Cols))
 }
 
-
 // SortNeurons reorders the rows of a weight matrix (each row = one
 // output neuron) by ascending RMS scale, a permutation-invariant
 // transformation (§V, cf. PIT [46]): the layer computes the same set of

@@ -77,6 +77,18 @@ func Parse(input string) (Pattern, error) {
 	return p, nil
 }
 
+// Canonicalize parses a pattern string and returns its canonical
+// spelling (the parsed Pattern's Name), so that pipelines differing
+// only in whitespace, case, or argument style ("50%" vs "frac=0.5")
+// map to the same string — the property cache keys need.
+func Canonicalize(input string) (string, error) {
+	p, err := Parse(input)
+	if err != nil {
+		return "", err
+	}
+	return p.Name, nil
+}
+
 // MustParse is Parse that panics on error, for static pattern literals.
 func MustParse(input string) Pattern {
 	p, err := Parse(input)

@@ -204,11 +204,11 @@ func TestDSLErrors(t *testing.T) {
 		"gaussian(default) | sort(diagonal, 50%)",
 		"gaussian(default) | sparsify(150%)",
 		"gaussian(default) | flip(2)",
-		"gaussian(default) | sparsify",   // missing required arg
-		"gaussian(mean=1",                // unbalanced parens
-		"constant()",                     // missing value
-		"set(mean=0)",                    // missing n
-		"uniform(5, 1)",                  // hi <= lo
+		"gaussian(default) | sparsify", // missing required arg
+		"gaussian(mean=1",              // unbalanced parens
+		"constant()",                   // missing value
+		"set(mean=0)",                  // missing n
+		"uniform(5, 1)",                // hi <= lo
 		"gaussian(default) | randlsb(-1)",
 		"gaussian(default) | wat(3)",
 		"gaussian(default) | sort(rows, 200%)",
@@ -295,5 +295,36 @@ func TestPatternNamesRoundTripThroughDSL(t *testing.T) {
 		if !a.Equal(b) {
 			t.Errorf("pattern %q: DSL round trip produced different matrix", p.Name)
 		}
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	// Spellings that differ in whitespace, case and argument style must
+	// canonicalize identically (the cache-key property).
+	spellings := []string{
+		"gaussian(mean=0,std=210)|sort(rows,50%)",
+		"  Gaussian( mean=0 , std=210 ) | SORT( rows , frac=0.5 )  ",
+	}
+	var names []string
+	for _, s := range spellings {
+		name, err := Canonicalize(s)
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", s, err)
+		}
+		names = append(names, name)
+	}
+	if names[0] != names[1] {
+		t.Errorf("canonical forms differ: %q vs %q", names[0], names[1])
+	}
+	// Canonical output is a fixed point.
+	again, err := Canonicalize(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != names[0] {
+		t.Errorf("canonical form not idempotent: %q vs %q", again, names[0])
+	}
+	if _, err := Canonicalize("bogus(1)"); err == nil {
+		t.Error("expected error for unknown pattern")
 	}
 }

@@ -52,8 +52,8 @@ const (
 
 // Result is the simulated steady-state operating point of a GEMM loop.
 type Result struct {
-	Device *device.Device
-	DType  matrix.DType
+	Device  *device.Device
+	DType   matrix.DType
 	N, K, M int
 
 	Tiles       int
@@ -167,17 +167,17 @@ func Evaluate(dev *device.Device, p *kernels.Problem, rep *activity.Report) (*Re
 
 	scale := busy * clockScale / tNominal // converts pJ/iter to W contribution
 	res := &Result{
-		Device:      dev,
-		DType:       p.DType,
-		N:           n,
-		K:           k,
-		M:           m,
-		Tiles:       tiles,
-		Waves:       waves,
-		Utilization: util,
-		KernelTimeS: tKernel,
-		IterTimeS:   iterTime,
-		BusyFrac:    busy,
+		Device:         dev,
+		DType:          p.DType,
+		N:              n,
+		K:              k,
+		M:              m,
+		Tiles:          tiles,
+		Waves:          waves,
+		Utilization:    util,
+		KernelTimeS:    tKernel,
+		IterTimeS:      iterTime,
+		BusyFrac:       busy,
 		KernelPowerW:   kernelPower,
 		AvgPowerW:      avgPower,
 		EnergyPerIterJ: avgPower * iterTime,

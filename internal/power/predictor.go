@@ -50,6 +50,13 @@ type Sample struct {
 	PowerW   float64
 }
 
+// SampleOf builds a training sample from a simulated operating point,
+// using the noise-free model power as the observation (training on the
+// model rather than a noisy telemetry measurement keeps fits exact).
+func SampleOf(rep *activity.Report, res *Result) Sample {
+	return Sample{Features: FeaturesOf(rep, res), PowerW: res.AvgPowerW}
+}
+
 // Predictor is a fitted linear input-dependent power model. Weights[0]
 // is the static power estimate in watts; Weights[1..6] are per-event
 // energies in picojoules.

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// Key identifies one prediction: the cache key and the worker-pool
+// sharding key. Pattern must be in canonical DSL form
+// (patterns.Canonicalize) so that equivalent spellings collide.
+type Key struct {
+	Device  string
+	DType   matrix.DType
+	Pattern string
+	Size    int
+}
+
+// shardHash returns a stable hash of the key for shard selection, so
+// identical requests land on the same worker and the later ones find
+// the first one's cache entry instead of re-simulating.
+func (k Key) shardHash() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, k.Device)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, k.Pattern)
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(k.DType))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(k.Size))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// lruCache is a mutex-guarded LRU map from Key to PredictResponse.
+// Values are stored by value, so readers always get an independent
+// copy and never alias cache internals.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+type lruEntry struct {
+	key  Key
+	resp PredictResponse
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Get returns a copy of the cached response and marks the entry most
+// recently used.
+func (c *lruCache) Get(k Key) (PredictResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return PredictResponse{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+// Put inserts or refreshes an entry, evicting the least recently used
+// one when over capacity.
+func (c *lruCache) Put(k Key, resp PredictResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry{key: k, resp: resp})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Purge removes every entry matching the predicate and returns how
+// many were dropped. Used after retraining invalidates predictions.
+func (c *lruCache) Purge(match func(Key) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped int
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if k := el.Value.(*lruEntry).key; match(k) {
+			c.order.Remove(el)
+			delete(c.items, k)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func testKey(i int) Key {
+	return Key{Device: "A100-PCIe-40GB", DType: matrix.FP16, Pattern: fmt.Sprintf("p%d", i), Size: 64}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put(testKey(1), PredictResponse{Size: 1})
+	c.Put(testKey(2), PredictResponse{Size: 2})
+	// Touch key 1 so key 2 becomes the eviction candidate.
+	if _, ok := c.Get(testKey(1)); !ok {
+		t.Fatal("key 1 should be present")
+	}
+	c.Put(testKey(3), PredictResponse{Size: 3})
+	if _, ok := c.Get(testKey(2)); ok {
+		t.Error("key 2 should have been evicted")
+	}
+	for _, i := range []int{1, 3} {
+		if _, ok := c.Get(testKey(i)); !ok {
+			t.Errorf("key %d should survive", i)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUPutRefreshes(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put(testKey(1), PredictResponse{PredictedW: 100})
+	c.Put(testKey(1), PredictResponse{PredictedW: 200})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 after double put", c.Len())
+	}
+	got, _ := c.Get(testKey(1))
+	if got.PredictedW != 200 {
+		t.Errorf("value = %v, want the refreshed 200", got.PredictedW)
+	}
+}
+
+func TestLRUGetReturnsCopy(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put(testKey(1), PredictResponse{Cached: false, PredictedW: 1})
+	a, _ := c.Get(testKey(1))
+	a.Cached = true
+	a.PredictedW = 99
+	b, _ := c.Get(testKey(1))
+	if b.Cached || b.PredictedW != 1 {
+		t.Error("mutating a returned response must not alter the cache")
+	}
+}
+
+func TestLRUPurge(t *testing.T) {
+	c := newLRUCache(8)
+	for i := 0; i < 4; i++ {
+		k := testKey(i)
+		if i%2 == 0 {
+			k.DType = matrix.FP32
+		}
+		c.Put(k, PredictResponse{})
+	}
+	n := c.Purge(func(k Key) bool { return k.DType == matrix.FP32 })
+	if n != 2 {
+		t.Errorf("purged %d, want 2", n)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2 after purge", c.Len())
+	}
+}
+
+func TestShardHashStableAndDiscriminating(t *testing.T) {
+	a := testKey(1)
+	if a.shardHash() != testKey(1).shardHash() {
+		t.Error("equal keys must hash equally")
+	}
+	distinct := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		distinct[testKey(i).shardHash()] = true
+	}
+	b := testKey(1)
+	b.Size = 128
+	distinct[b.shardHash()] = true
+	c := testKey(1)
+	c.DType = matrix.FP32
+	distinct[c.shardHash()] = true
+	if len(distinct) < 60 {
+		t.Errorf("only %d distinct hashes across 66 distinct keys", len(distinct))
+	}
+}

@@ -1,0 +1,109 @@
+package serve
+
+// HTTP/JSON front of the Server: POST /predict, POST /train and
+// GET /healthz. cmd/powerserve mounts Handler() behind an http.Server;
+// httptest can mount it directly in tests.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/device"
+	"repro/internal/matrix"
+)
+
+// maxBodyBytes bounds request bodies; every valid request is tiny.
+const maxBodyBytes = 1 << 20
+
+// HealthResponse is the /healthz payload: liveness plus the serving
+// metrics (cache hit counters, queue depth and high-water marks).
+type HealthResponse struct {
+	Status   string           `json:"status"`
+	Devices  []string         `json:"devices"`
+	DTypes   []string         `json:"dtypes"`
+	CacheLen int              `json:"cache_len"`
+	Metrics  map[string]int64 `json:"metrics"`
+}
+
+// Handler returns the HTTP mux for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req PredictRequest
+		if !decodeJSONPost(w, r, &req) {
+			return
+		}
+		resp, err := s.Predict(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/train", func(w http.ResponseWriter, r *http.Request) {
+		var req TrainRequest
+		if !decodeJSONPost(w, r, &req) {
+			return
+		}
+		resp, err := s.Train(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use GET"})
+			return
+		}
+		dtypes := make([]string, len(matrix.ExtendedDTypes))
+		for i, dt := range matrix.ExtendedDTypes {
+			dtypes[i] = dt.String()
+		}
+		writeJSON(w, http.StatusOK, &HealthResponse{
+			Status:   "ok",
+			Devices:  device.Names(),
+			DTypes:   dtypes,
+			CacheLen: s.CacheLen(),
+			Metrics:  s.Metrics(),
+		})
+	})
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// decodeJSONPost parses a POST body into req, writing the error
+// response itself when the request is unusable.
+func decodeJSONPost(w http.ResponseWriter, r *http.Request, req any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use POST with a JSON body"})
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var re *RequestError
+	if errors.As(err, &re) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

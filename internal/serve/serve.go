@@ -1,0 +1,439 @@
+// Package serve turns the reproduction's §V input-dependent power
+// model into an always-on prediction service: the layer between the
+// physics core (kernels → activity → power) and network traffic.
+//
+// A request names a device preset, a datatype, an input-pattern DSL
+// string and a GEMM size; the response is the fitted predictor's power
+// estimate next to the full simulator's ground truth. Three mechanisms
+// make the path cheap enough to serve:
+//
+//   - a predictor registry that lazily trains one power.Predictor per
+//     (device, dtype) from a reduced experiment sweep
+//     (experiments.TrainingSamples) and then reuses it,
+//   - an LRU cache keyed by (device, dtype, canonical pattern, size)
+//     so repeated queries skip the GEMM-simulation hot path entirely,
+//   - a sharded worker pool (one worker per GOMAXPROCS by default)
+//     that serializes identical keys on one shard, so a thundering
+//     herd of equal requests costs one simulation.
+//
+// Cache hit-rate, queue depth, in-flight requests and simulation
+// counts are exported through a telemetry.MetricSet; cmd/powerserve
+// wraps the whole thing in an HTTP/JSON server and examples/loadgen
+// drives it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/activity"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/patterns"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// Request defaults and limits.
+const (
+	DefaultDevice  = "A100-PCIe-40GB"
+	DefaultDType   = "FP16"
+	DefaultPattern = "gaussian(default)"
+	DefaultSize    = 256
+)
+
+// Config parameterizes a Server. The zero value serves with sensible
+// defaults.
+type Config struct {
+	// CacheSize bounds the prediction LRU (default 4096 entries).
+	CacheSize int
+	// Shards is the worker-pool width (default GOMAXPROCS).
+	Shards int
+	// QueueDepth is the per-shard task queue capacity (default 256).
+	QueueDepth int
+	// MaxSize rejects GEMM sizes above this bound — simulation cost
+	// grows as size³ and a service must not let one request buy
+	// unbounded compute (default 512).
+	MaxSize int
+	// SampleOutputs bounds the sampled activity terms per simulation
+	// (default 128, the training sweep's fidelity).
+	SampleOutputs int
+	// Training is the reduced sweep used to fit predictors lazily
+	// (zero value = experiments.DefaultTraining).
+	Training experiments.TrainingConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 512
+	}
+	if c.SampleOutputs <= 0 {
+		c.SampleOutputs = 128
+	}
+	return c
+}
+
+// PredictRequest asks for the power of one GEMM configuration. Empty
+// fields take the Default* values above.
+type PredictRequest struct {
+	// Device is a preset name (device.Names).
+	Device string `json:"device,omitempty"`
+	// DType is a datatype name ("FP32", "FP16", "FP16-T", "INT8",
+	// "BF16-T").
+	DType string `json:"dtype,omitempty"`
+	// Pattern is a §V input-pattern DSL pipeline.
+	Pattern string `json:"pattern,omitempty"`
+	// Size is the square GEMM dimension.
+	Size int `json:"size,omitempty"`
+}
+
+// PredictResponse reports the fitted model's estimate next to the
+// simulator's ground truth for the same configuration.
+type PredictResponse struct {
+	Device  string `json:"device"`
+	DType   string `json:"dtype"`
+	Pattern string `json:"pattern"` // canonical form
+	Size    int    `json:"size"`
+
+	// PredictedW is the §V linear model's estimate; SimulatedW is the
+	// full activity-based simulation it was trained against.
+	PredictedW float64 `json:"predicted_w"`
+	SimulatedW float64 `json:"simulated_w"`
+	ResidualW  float64 `json:"residual_w"`
+	// TrainR2 is the serving predictor's in-sample R².
+	TrainR2 float64 `json:"train_r2"`
+
+	IterTimeS      float64 `json:"iter_time_s"`
+	EnergyPerIterJ float64 `json:"energy_per_iter_j"`
+	BusyFrac       float64 `json:"busy_frac"`
+	Throttled      bool    `json:"throttled"`
+
+	// Features is the §V feature vector the predictor consumed.
+	Features power.FeatureVector `json:"features"`
+	// Cached reports that this response came from the LRU, not a fresh
+	// simulation.
+	Cached bool `json:"cached"`
+
+	// gen records which predictor generation produced PredictedW; a
+	// cached response whose generation no longer matches the registry
+	// was computed against a retrained-away model and is recomputed
+	// instead of served. This closes the race where an in-flight
+	// prediction writes its result back after /train purged the cache.
+	gen uint64
+}
+
+// TrainRequest forces a fresh predictor fit for one (device, dtype),
+// optionally with a custom sweep.
+type TrainRequest struct {
+	Device string `json:"device,omitempty"`
+	DType  string `json:"dtype,omitempty"`
+	// Sizes and Patterns override the sweep corpus when non-empty.
+	Sizes    []int    `json:"sizes,omitempty"`
+	Patterns []string `json:"patterns,omitempty"`
+	// Seed overrides the sweep's input seed when non-zero.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// TrainResponse reports the fitted model.
+type TrainResponse struct {
+	Device string `json:"device"`
+	DType  string `json:"dtype"`
+	// WeightsPJ are the fitted coefficients: [0] is the static power
+	// estimate in watts, [1..6] per-event energies in picojoules.
+	WeightsPJ [power.NumFeatures]float64 `json:"weights_pj"`
+	R2        float64                    `json:"r2"`
+	Samples   int                        `json:"samples"`
+	// Purged is the number of cached predictions invalidated by the
+	// new model.
+	Purged int `json:"purged"`
+}
+
+// RequestError marks a client-side validation failure (HTTP 400).
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Server is the concurrent power-prediction service.
+type Server struct {
+	cfg      Config
+	metrics  *telemetry.MetricSet
+	cache    *lruCache
+	pool     *pool
+	registry *registry
+	// trainMu serializes /train: a sweep already fans out to
+	// GOMAXPROCS workers, so concurrent retrains would only
+	// oversubscribe the box and starve the predict pool.
+	trainMu sync.Mutex
+
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	simulations *telemetry.Counter
+	requests    *telemetry.Counter
+	failures    *telemetry.Counter
+	queueDepth  *telemetry.Gauge
+	inflight    *telemetry.Gauge
+}
+
+// New builds and starts a server (its worker pool runs until Close).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := telemetry.NewMetricSet()
+	s := &Server{
+		cfg:         cfg,
+		metrics:     m,
+		cache:       newLRUCache(cfg.CacheSize),
+		hits:        m.Counter("serve.cache.hits"),
+		misses:      m.Counter("serve.cache.misses"),
+		simulations: m.Counter("serve.simulations"),
+		requests:    m.Counter("serve.requests"),
+		failures:    m.Counter("serve.failures"),
+		queueDepth:  m.Gauge("serve.queue.depth"),
+		inflight:    m.Gauge("serve.inflight"),
+	}
+	s.pool = newPool(cfg.Shards, cfg.QueueDepth, s.queueDepth)
+	s.registry = newRegistry(cfg.Training, m.Counter("serve.trainings"))
+	return s
+}
+
+// Close drains the worker pool. In-flight Predict calls finish first.
+func (s *Server) Close() { s.pool.Close() }
+
+// Metrics returns a snapshot of the serving counters and gauges.
+func (s *Server) Metrics() map[string]int64 { return s.metrics.Snapshot() }
+
+// CacheHitRate returns hits/(hits+misses) over the server's lifetime.
+func (s *Server) CacheHitRate() float64 { return telemetry.HitRate(s.hits, s.misses) }
+
+// CacheLen returns the number of cached predictions.
+func (s *Server) CacheLen() int { return s.cache.Len() }
+
+// resolve validates a predict request into its executable parts.
+func (s *Server) resolve(req PredictRequest) (*device.Device, matrix.DType, patterns.Pattern, Key, error) {
+	if req.Device == "" {
+		req.Device = DefaultDevice
+	}
+	if req.DType == "" {
+		req.DType = DefaultDType
+	}
+	if req.Pattern == "" {
+		req.Pattern = DefaultPattern
+	}
+	if req.Size == 0 {
+		req.Size = DefaultSize
+	}
+	dev := device.ByName(req.Device)
+	if dev == nil {
+		return nil, 0, patterns.Pattern{}, Key{}, badRequestf("unknown device %q (have %v)", req.Device, device.Names())
+	}
+	dt, ok := matrix.ParseDType(req.DType)
+	if !ok {
+		return nil, 0, patterns.Pattern{}, Key{}, badRequestf("unknown dtype %q", req.DType)
+	}
+	pat, err := patterns.Parse(req.Pattern)
+	if err != nil {
+		return nil, 0, patterns.Pattern{}, Key{}, badRequestf("bad pattern: %v", err)
+	}
+	if req.Size < 8 || req.Size > s.cfg.MaxSize {
+		return nil, 0, patterns.Pattern{}, Key{}, badRequestf("size %d out of [8, %d]", req.Size, s.cfg.MaxSize)
+	}
+	key := Key{Device: dev.Name, DType: dt, Pattern: pat.Name, Size: req.Size}
+	return dev, dt, pat, key, nil
+}
+
+// Predict serves one prediction: from the cache when possible,
+// otherwise through the worker pool and the full simulation chain.
+// Identical requests always return identical responses (all randomness
+// is derived from the request key), differing only in the Cached flag.
+func (s *Server) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	s.requests.Inc()
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+
+	dev, dt, pat, key, err := s.resolve(req)
+	if err != nil {
+		s.failures.Inc()
+		return nil, err
+	}
+
+	// Fast path: answer straight from the LRU without a pool trip. A
+	// response from a retrained-away predictor generation is treated
+	// as a miss and recomputed.
+	if resp, ok := s.cache.Get(key); ok && resp.gen == s.registry.currentGen(dev.Name, dt) {
+		s.hits.Inc()
+		resp.Cached = true
+		return &resp, nil
+	}
+
+	// Resolve the predictor before entering the pool: the lazy
+	// training sweep is seconds of work and must not occupy a shard
+	// worker while unrelated keys queue behind it (the registry
+	// already coalesces concurrent trainings of one combination).
+	entry, err := s.registry.Get(ctx, dev, dt)
+	if err != nil {
+		s.failures.Inc()
+		return nil, err
+	}
+
+	v, err := s.pool.Do(ctx, key.shardHash(), func() (any, error) {
+		// Re-check under the shard: an identical request queued ahead
+		// of this one may have filled the entry already. That still
+		// skipped the simulation, so it still counts as a hit.
+		if resp, ok := s.cache.Get(key); ok && resp.gen == s.registry.currentGen(dev.Name, dt) {
+			s.hits.Inc()
+			resp.Cached = true
+			return &resp, nil
+		}
+		s.misses.Inc()
+		resp, err := s.compute(dev, dt, pat, key, entry)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, *resp)
+		return resp, nil
+	})
+	if err != nil {
+		s.failures.Inc()
+		return nil, err
+	}
+	return v.(*PredictResponse), nil
+}
+
+// compute runs the GEMM-simulation hot path for one key and assembles
+// the response.
+func (s *Server) compute(dev *device.Device, dt matrix.DType, pat patterns.Pattern, key Key, entry *regEntry) (*PredictResponse, error) {
+	rep, res, err := Simulate(dev, dt, pat, key.Size, s.cfg.SampleOutputs)
+	if err != nil {
+		return nil, err
+	}
+	s.simulations.Inc()
+	features := power.FeaturesOf(rep, res)
+	predicted := entry.pred.Predict(features)
+	return &PredictResponse{
+		Device:         dev.Name,
+		DType:          dt.String(),
+		Pattern:        key.Pattern,
+		Size:           key.Size,
+		PredictedW:     predicted,
+		SimulatedW:     res.AvgPowerW,
+		ResidualW:      predicted - res.AvgPowerW,
+		TrainR2:        entry.r2,
+		IterTimeS:      res.IterTimeS,
+		EnergyPerIterJ: res.EnergyPerIterJ,
+		BusyFrac:       res.BusyFrac,
+		Throttled:      res.Throttled,
+		Features:       features,
+		gen:            entry.gen,
+	}, nil
+}
+
+// Simulate runs the deterministic measurement chain a /predict miss
+// executes: pattern-filled size² A and B (distinct streams derived
+// from the canonical pattern name, per §III), CUTLASS-style tiling,
+// activity extraction and the power model. Exported so tests and
+// clients can reproduce served numbers bit-for-bit.
+func Simulate(dev *device.Device, dt matrix.DType, pat patterns.Pattern, size, sampleOutputs int) (*activity.Report, *power.Result, error) {
+	base := rng.Derive(0x5E12FE, "serve/"+pat.Name)
+	a := matrix.New(dt, size, size)
+	pat.Apply(a, rng.Derive(base.Uint64(), "A"))
+	b := matrix.New(dt, size, size)
+	pat.Apply(b, rng.Derive(base.Uint64(), "B"))
+
+	prob := kernels.NewProblem(dt, a, b.Transpose())
+	rep, err := activity.Analyze(prob, activity.Config{
+		SampleOutputs: sampleOutputs,
+		Seed:          0xAC71,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := power.Evaluate(dev, prob, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, res, nil
+}
+
+// Train fits a fresh predictor for the requested (device, dtype) and
+// invalidates the cached predictions it supersedes. Train calls are
+// serialized: each sweep already parallelizes across GOMAXPROCS.
+func (s *Server) Train(ctx context.Context, req TrainRequest) (*TrainResponse, error) {
+	s.requests.Inc()
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+
+	if req.Device == "" {
+		req.Device = DefaultDevice
+	}
+	if req.DType == "" {
+		req.DType = DefaultDType
+	}
+	dev := device.ByName(req.Device)
+	if dev == nil {
+		s.failures.Inc()
+		return nil, badRequestf("unknown device %q (have %v)", req.Device, device.Names())
+	}
+	dt, ok := matrix.ParseDType(req.DType)
+	if !ok {
+		s.failures.Inc()
+		return nil, badRequestf("unknown dtype %q", req.DType)
+	}
+	cfg := s.cfg.Training
+	if len(req.Sizes) > 0 {
+		for _, sz := range req.Sizes {
+			if sz < 8 || sz > s.cfg.MaxSize {
+				s.failures.Inc()
+				return nil, badRequestf("training size %d out of [8, %d]", sz, s.cfg.MaxSize)
+			}
+		}
+		cfg.Sizes = req.Sizes
+	}
+	if len(req.Patterns) > 0 {
+		cfg.Patterns = req.Patterns
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+
+	s.trainMu.Lock()
+	defer s.trainMu.Unlock()
+	entry, err := s.registry.Retrain(dev, dt, cfg)
+	if err != nil {
+		s.failures.Inc()
+		// A corpus the DSL cannot parse is the client's fault.
+		var pe *patterns.ParseError
+		if errors.As(err, &pe) {
+			return nil, badRequestf("%v", err)
+		}
+		return nil, err
+	}
+	purged := s.cache.Purge(func(k Key) bool {
+		return k.Device == dev.Name && k.DType == dt
+	})
+	return &TrainResponse{
+		Device:    dev.Name,
+		DType:     dt.String(),
+		WeightsPJ: entry.pred.Weights,
+		R2:        entry.r2,
+		Samples:   entry.samples,
+		Purged:    purged,
+	}, nil
+}

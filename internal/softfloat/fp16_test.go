@@ -64,20 +64,20 @@ func TestF32ToF16KnownValues(t *testing.T) {
 		{-1, 0xBC00},
 		{2, 0x4000},
 		{0.5, 0x3800},
-		{65504, 0x7BFF},                   // largest normal binary16
-		{65520, 0x7C00},                   // rounds to +inf
-		{100000, 0x7C00},                  // overflow
-		{5.960464477539063e-08, 0x0001},   // smallest subnormal
-		{6.097555160522461e-05, 0x03FF},   // largest subnormal
-		{6.103515625e-05, 0x0400},         // smallest normal
-		{2.980232238769531e-08, 0x0000},   // exactly half ULP rounds to even (0)
-		{2.9802322387695312e-08, 0x0000},  // same value
-		{1.0009765625, 0x3C01},            // 1 + 2^-10
-		{float32(math.Inf(1)), 0x7C00},    // +inf
-		{float32(math.Inf(-1)), 0xFC00},   // -inf
-		{float32(math.NaN()), 0x7E00},     // NaN quiets
-		{0.333251953125, 0x3555},          // closest f16 to 1/3
-		{-210.0, 0xDA90},                  // paper's FP stddev scale
+		{65504, 0x7BFF},                  // largest normal binary16
+		{65520, 0x7C00},                  // rounds to +inf
+		{100000, 0x7C00},                 // overflow
+		{5.960464477539063e-08, 0x0001},  // smallest subnormal
+		{6.097555160522461e-05, 0x03FF},  // largest subnormal
+		{6.103515625e-05, 0x0400},        // smallest normal
+		{2.980232238769531e-08, 0x0000},  // exactly half ULP rounds to even (0)
+		{2.9802322387695312e-08, 0x0000}, // same value
+		{1.0009765625, 0x3C01},           // 1 + 2^-10
+		{float32(math.Inf(1)), 0x7C00},   // +inf
+		{float32(math.Inf(-1)), 0xFC00},  // -inf
+		{float32(math.NaN()), 0x7E00},    // NaN quiets
+		{0.333251953125, 0x3555},         // closest f16 to 1/3
+		{-210.0, 0xDA90},                 // paper's FP stddev scale
 	}
 	for _, c := range cases {
 		if got := F32ToF16(c.in); got != c.want {
@@ -279,8 +279,8 @@ func TestF32ToI8(t *testing.T) {
 		{-1.5, -2}, // round half to even
 		{-2.5, -2},
 		{127.4, 127},
-		{300, 127},    // saturate high
-		{-300, -128},  // saturate low
+		{300, 127},   // saturate high
+		{-300, -128}, // saturate low
 		{-128.4, -128},
 		{float32(math.NaN()), 0},
 	}

@@ -1,0 +1,143 @@
+package telemetry
+
+// This file adds the operational-metrics side of the telemetry package:
+// where telemetry.go models the paper's DCGM measurement chain, these
+// counters instrument the reproduction itself when it runs as a service
+// (internal/serve). They are deliberately DCGM-flavoured — monotonic
+// counters and level gauges with high-water marks, snapshotted as a
+// flat name→value map — so a scrape of /healthz reads like a field
+// dump.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count, safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, in-flight requests)
+// that also tracks its high-water mark, safe for concurrent use.
+type Gauge struct {
+	v    atomic.Int64
+	high atomic.Int64
+}
+
+// Inc raises the level by one and returns the new value.
+func (g *Gauge) Inc() int64 { return g.Add(1) }
+
+// Dec lowers the level by one and returns the new value.
+func (g *Gauge) Dec() int64 { return g.Add(-1) }
+
+// Add shifts the level by n and returns the new value, updating the
+// high-water mark.
+func (g *Gauge) Add(n int64) int64 {
+	v := g.v.Add(n)
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return v
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HighWater returns the maximum level ever observed.
+func (g *Gauge) HighWater() int64 { return g.high.Load() }
+
+// MetricSet is a named collection of counters and gauges. The zero
+// value is ready to use.
+type MetricSet struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewMetricSet returns an empty metric set.
+func NewMetricSet() *MetricSet { return &MetricSet{} }
+
+// Counter returns the counter with the given name, creating it on
+// first use. The same name always returns the same counter.
+func (m *MetricSet) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counters == nil {
+		m.counters = map[string]*Counter{}
+	}
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first
+// use. The same name always returns the same gauge.
+func (m *MetricSet) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gauges == nil {
+		m.gauges = map[string]*Gauge{}
+	}
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns a point-in-time copy of every metric: counters under
+// their name, gauges under both "name" (level) and "name.max"
+// (high-water mark).
+func (m *MetricSet) Snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters)+2*len(m.gauges))
+	for name, c := range m.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range m.gauges {
+		out[name] = g.Load()
+		out[name+".max"] = g.HighWater()
+	}
+	return out
+}
+
+// Names returns the sorted metric names present in a snapshot-style
+// listing (gauge high-water entries included).
+func (m *MetricSet) Names() []string {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HitRate is a convenience for cache-style counter pairs: it returns
+// hits/(hits+misses), or 0 when nothing has been counted.
+func HitRate(hits, misses *Counter) float64 {
+	h, m := hits.Load(), misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

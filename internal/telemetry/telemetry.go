@@ -143,7 +143,7 @@ type Measurement struct {
 	// Iterations actually timed.
 	Iterations int
 	// BusyFrac is the DCGM utilization analogue.
-	BusyFrac float64
+	BusyFrac  float64
 	Throttled bool
 }
 
