@@ -1,0 +1,145 @@
+// Command benchdiff compares two `go test -json` benchmark event
+// streams (the BENCH_<sha>.json artifacts CI produces) and fails when
+// any benchmark matching the filter regressed in wall time by more than
+// the threshold. It is the regression gate of the CI bench pipeline:
+//
+//	benchdiff -threshold 25 old.json new.json
+//
+// exits 1 if any matched benchmark in new.json is more than 25% slower
+// than the same benchmark in old.json. Benchmarks present on only one
+// side are reported but never fail the gate (new benchmarks appear,
+// old ones are removed — neither is a regression).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// In a `go test -json` stream the measurement line ("       2\t
+// 37447200 ns/op\t...") arrives in an output event whose Test field
+// names the benchmark; in plain `go test -bench` output the name leads
+// the line. Both shapes are accepted. The -cpu suffix (BenchmarkFoo-8)
+// is stripped into the base name.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	measLine  = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+	cpuSuffix = regexp.MustCompile(`-\d+$`)
+)
+
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parse extracts benchmark name → ns/op from a `go test -json` stream.
+// Repeated runs of one benchmark keep the last measurement.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate stray non-JSON lines (tee'd stderr etc.).
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		if m := benchLine.FindStringSubmatch(ev.Output); m != nil {
+			var ns float64
+			fmt.Sscanf(m[2], "%g", &ns)
+			out[m[1]] = ns
+			continue
+		}
+		if strings.HasPrefix(ev.Test, "Benchmark") {
+			if m := measLine.FindStringSubmatch(ev.Output); m != nil {
+				var ns float64
+				fmt.Sscanf(m[1], "%g", &ns)
+				out[cpuSuffix.ReplaceAllString(ev.Test, "")] = ns
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 25, "fail when a benchmark slows down by more than this percentage")
+		filter    = flag.String("filter", `^BenchmarkFig`, "regexp of benchmark names the gate applies to")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-filter re] old.json new.json")
+		os.Exit(2)
+	}
+	filterRe, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad filter: %v\n", err)
+		os.Exit(2)
+	}
+
+	old, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parse(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(old) == 0 {
+		// An empty or unparsable prior artifact is a skip, not a failure.
+		fmt.Println("benchdiff: no benchmarks in prior artifact; skipping gate")
+		return
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-36s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		newNs := cur[name]
+		oldNs, ok := old[name]
+		if !ok {
+			fmt.Printf("%-36s %12s %12.0f %8s\n", name, "-", newNs, "new")
+			continue
+		}
+		delta := 100 * (newNs - oldNs) / oldNs
+		mark := ""
+		if filterRe.MatchString(name) && delta > *threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-36s %12.0f %12.0f %+7.1f%%%s\n", name, oldNs, newNs, delta, mark)
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("%-36s %12.0f %12s %8s\n", name, old[name], "-", "gone")
+		}
+	}
+	if failed {
+		fmt.Printf("\nbenchdiff: wall-time regression beyond %.0f%% detected\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: within threshold")
+}

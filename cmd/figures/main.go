@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,16 +25,43 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("out", "results", "output directory")
-		size    = flag.Int("size", 2048, "square matrix dimension (paper: 2048)")
-		seeds   = flag.Int("seeds", 10, "seeds per configuration (paper: 10)")
-		samples = flag.Int("samples", 256, "sampled accumulator trajectories per run")
-		skip7   = flag.Bool("skip-fig7", false, "skip the cross-GPU generalization runs")
+		out        = flag.String("out", "results", "output directory")
+		size       = flag.Int("size", 2048, "square matrix dimension (paper: 2048)")
+		seeds      = flag.Int("seeds", 10, "seeds per configuration (paper: 10)")
+		samples    = flag.Int("samples", 256, "sampled accumulator trajectories per run")
+		skip7      = flag.Bool("skip-fig7", false, "skip the cross-GPU generalization runs")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the campaign")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatalf("%v", err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()

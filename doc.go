@@ -16,14 +16,47 @@
 // mixed pattern workload, reporting throughput, latency percentiles
 // and cache hit-rate.
 //
-// See README.md for the layout, quickstart and serving architecture,
-// DESIGN.md for the system inventory and the hardware-substitution
-// rationale, and EXPERIMENTS.md for paper-versus-measured trends per
-// figure.
+// # Engine architecture
+//
+// The simulation hot path is organized around precomputation and
+// locality, with bit-identical results to the straightforward
+// per-element formulation (golden equivalence tests in
+// internal/kernels prove it element-by-element):
+//
+//   - internal/softfloat carries 65,536-entry lookup tables built at
+//     init from the bit-exact conversions: F16→F32 decode (F16ToF32 is
+//     a table read) and per-pattern significand Hamming weights for
+//     FP16/BF16/INT8. F32ToF16 and F32ToI8 use branch-light exact-RNE
+//     magic-number formulations, verified exhaustively against their
+//     field-by-field references.
+//   - internal/kernels packs both GEMM operands once per problem into
+//     contiguous decoded panels — A row-major, B column-major — so the
+//     O(N³) inner loop is a register-resident dot product in the exact
+//     arithmetic of the datatype. Work is scheduled as cache-blocked
+//     row ranges through an atomic cursor shared by the datatype
+//     engine and the float64 reference oracle, and the α/β epilogue is
+//     fused into the accumulator retirement.
+//   - internal/activity computes all exact terms in one fused scan per
+//     operand (toggles, per-k significand sums via the LUTs, Hamming
+//     weight, non-zero counts) and walks sampled product/accumulator
+//     trajectories grouped by output column, with positions drawn
+//     without replacement.
+//   - internal/rng generates Gaussians with a 256-layer ziggurat (one
+//     64-bit draw per variate on the fast path); internal/experiments
+//     caches base matrices per (seed, operand side, encoding class)
+//     within a Run so sweep points derive transform variants from one
+//     generation.
+//
+// See README.md for the layout, quickstart, serving architecture and
+// the measured before/after performance table, DESIGN.md for the
+// system inventory and the hardware-substitution rationale, and
+// EXPERIMENTS.md for paper-versus-measured trends per figure.
 //
 // The benchmarks in bench_test.go regenerate each figure at a reduced
 // scale (one per table/figure of the paper); cmd/figures runs the
-// full-scale campaign. CI (.github/workflows/ci.yml) gates gofmt, vet,
-// build, race tests, and a bench smoke pass whose JSON output is kept
-// as a per-commit BENCH_*.json artifact.
+// full-scale campaign (with -cpuprofile/-memprofile for perf work).
+// CI (.github/workflows/ci.yml) gates gofmt, vet, build, race tests,
+// and a bench smoke pass whose JSON output is kept as a per-commit
+// BENCH_*.json artifact; cmd/benchdiff compares successive artifacts
+// and fails CI on a >25% figure-benchmark regression.
 package repro

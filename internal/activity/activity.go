@@ -30,7 +30,9 @@ package activity
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitops"
 	"repro/internal/kernels"
@@ -44,9 +46,11 @@ type Config struct {
 	// Tile is the threadblock tiling, which sets the stream reuse
 	// factors. Zero value means the dtype default.
 	Tile kernels.TileConfig
-	// SampleOutputs is the number of output positions whose product and
-	// accumulator trajectories are walked exactly. Zero means the
-	// default of 512. Samples are deterministic given Seed.
+	// SampleOutputs is the number of distinct output positions whose
+	// product and accumulator trajectories are walked exactly. Zero
+	// means the default of 512. Positions are drawn without replacement
+	// (a partial Fisher–Yates over the output index space) and are
+	// deterministic given Seed.
 	SampleOutputs int
 	// Seed drives sample-position selection. Experiments share a fixed
 	// seed so that configurations differ only in their inputs.
@@ -119,48 +123,42 @@ func Analyze(p *kernels.Problem, cfg Config) (*Report, error) {
 	n, k, m := p.Dims()
 	r := &Report{MACs: p.MACs()}
 
-	var wg sync.WaitGroup
-	var aRowToggles, bColToggles int64
-	var ppUnits int64
-	var hwA, hwB float64
-	var zeroA, zeroB float64
+	// One fused pass per operand computes every exact term at once —
+	// toggles, per-k-slice significand sums, Hamming weight, non-zero
+	// count — instead of re-streaming each matrix once per statistic.
 	sigA := make([]int64, k) // Σ_i HW(sig A[i,kk]) per k-slice
 	sigB := make([]int64, k) // Σ_j HW(sig B[kk,j]) per k-slice
+	var statsA, statsB operandStats
+	if runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			statsA = scanA(p.A, sigA)
+		}()
+		statsB = scanB(p.B, sigB)
+		wg.Wait()
+	} else {
+		statsA = scanA(p.A, sigA)
+		statsB = scanB(p.B, sigB)
+	}
 
-	wg.Add(4)
-	go func() {
-		defer wg.Done()
-		aRowToggles = rowToggleSum(p.A)
-	}()
-	go func() {
-		defer wg.Done()
-		bColToggles = colToggleSum(p.B)
-	}()
-	go func() {
-		defer wg.Done()
-		sigSumsByCol(p.A, sigA)
-		hwA = p.A.MeanHammingWeight()
-		zeroA = 1 - p.A.NonZeroFraction()
-	}()
-	go func() {
-		defer wg.Done()
-		sigSumsByRow(p.B, sigB)
-		hwB = p.B.MeanHammingWeight()
-		zeroB = 1 - p.B.NonZeroFraction()
-	}()
-	wg.Wait()
-
+	var ppUnits int64
 	for kk := 0; kk < k; kk++ {
 		ppUnits += sigA[kk] * sigB[kk]
 	}
 
+	aRowToggles := statsA.toggles
+	bColToggles := statsB.toggles
 	r.OperandToggles = int64(m)*aRowToggles + int64(n)*bColToggles
 	r.MultPPUnits = ppUnits
-	r.MeanHammingA = hwA
-	r.MeanHammingB = hwB
+	r.MeanHammingA = float64(statsA.hamming) / float64(len(p.A.Bits))
+	r.MeanHammingB = float64(statsB.hamming) / float64(len(p.B.Bits))
 	// Independent placement approximation for the gating fraction; the
 	// sampled walk refines alignment but the zero fractions are exact.
-	r.NonZeroFrac = (1 - zeroA) * (1 - zeroB)
+	nzA := float64(statsA.nonZero) / float64(len(p.A.Bits))
+	nzB := float64(statsB.nonZero) / float64(len(p.B.Bits))
+	r.NonZeroFrac = nzA * nzB
 
 	// Stream toggles: each A tile row panel is re-streamed once per
 	// column block of the output, each B panel once per row block.
@@ -174,63 +172,121 @@ func Analyze(p *kernels.Problem, cfg Config) (*Report, error) {
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
-// rowToggleSum returns Σ over rows of adjacent-element toggle counts,
-// parallel across row blocks.
-func rowToggleSum(mt *matrix.Matrix) int64 {
-	var total int64
-	parallelReduce(mt.Rows, func(lo, hi int) int64 {
-		var sum int64
-		for i := lo; i < hi; i++ {
-			sum += bitops.ToggleSum32(mt.Row(i))
-		}
-		return sum
-	}, &total)
-	return total
+// operandStats are the per-operand exact aggregates of one fused scan.
+type operandStats struct {
+	toggles int64 // adjacent toggles along the operand's k stream
+	hamming int64 // total Hamming weight over the lane width
+	nonZero int64 // elements with a non-zero bit pattern
 }
 
-// colToggleSum returns Σ over columns of adjacent-element toggle counts
-// along the row (k) direction, computed row-pair-wise for locality.
-func colToggleSum(mt *matrix.Matrix) int64 {
-	var total int64
-	if mt.Rows < 2 {
-		return 0
+// sigTab16 returns the per-dtype significand-weight table for the
+// lanes that fit a 16-bit index, or nil for FP32 (which computes its
+// weight inline). Table indexing keeps the scan loops free of
+// per-element indirect calls.
+func sigTab16(dt matrix.DType) *[1 << 16]uint8 {
+	switch dt {
+	case matrix.FP16, matrix.FP16T:
+		return softfloat.SigPop16Table()
+	case matrix.BF16T:
+		return softfloat.SigPopBF16Table()
+	case matrix.INT8:
+		return softfloat.MagPopI8WideTable()
+	default:
+		return nil
 	}
-	parallelReduce(mt.Rows-1, func(lo, hi int) int64 {
-		var sum int64
-		for i := lo; i < hi; i++ {
-			cur := mt.Row(i)
-			next := mt.Row(i + 1)
-			for j := range cur {
-				sum += int64(bitops.Toggle32(cur[j], next[j]))
-			}
-		}
-		return sum
-	}, &total)
-	return total
 }
 
-// sigSumsByCol accumulates Σ_i HW(sig(A[i,kk])) into out[kk].
-func sigSumsByCol(mt *matrix.Matrix, out []int64) {
-	sig := significandFn(mt.DType)
+// scanA streams A row-major once, accumulating per-column significand
+// sums into sig, adjacent-element toggles along rows (the A-side
+// operand stream), total Hamming weight, and the non-zero count.
+func scanA(mt *matrix.Matrix, sig []int64) operandStats {
+	var st operandStats
+	tab := sigTab16(mt.DType)
+	hmask := bitops.LowMask(mt.DType.Width())
 	for i := 0; i < mt.Rows; i++ {
 		row := mt.Row(i)
-		for kk, b := range row {
-			out[kk] += int64(bitops.Popcount32(sig(b)))
+		var prev uint32
+		if tab != nil {
+			for kk, b := range row {
+				sig[kk] += int64(tab[b&0xFFFF])
+				st.hamming += int64(bitops.Popcount32(b & hmask))
+				if b != 0 {
+					st.nonZero++
+				}
+				if kk > 0 {
+					st.toggles += int64(bitops.Toggle32(prev, b))
+				}
+				prev = b
+			}
+		} else {
+			for kk, b := range row {
+				sig[kk] += int64(softfloat.SigPop32(b))
+				st.hamming += int64(bitops.Popcount32(b & hmask))
+				if b != 0 {
+					st.nonZero++
+				}
+				if kk > 0 {
+					st.toggles += int64(bitops.Toggle32(prev, b))
+				}
+				prev = b
+			}
 		}
 	}
+	return st
 }
 
-// sigSumsByRow accumulates Σ_j HW(sig(B[kk,j])) into out[kk].
-func sigSumsByRow(mt *matrix.Matrix, out []int64) {
-	sig := significandFn(mt.DType)
+// scanB streams B row-major once, accumulating per-row significand
+// sums into sig, adjacent-element toggles down columns (the B-side
+// operand stream, computed row-pair-wise for locality), total Hamming
+// weight, and the non-zero count.
+func scanB(mt *matrix.Matrix, sig []int64) operandStats {
+	var st operandStats
+	tab := sigTab16(mt.DType)
+	hmask := bitops.LowMask(mt.DType.Width())
+	var prevRow []uint32
 	for kk := 0; kk < mt.Rows; kk++ {
 		row := mt.Row(kk)
-		var sum int64
-		for _, b := range row {
-			sum += int64(bitops.Popcount32(sig(b)))
+		var rowSig int64
+		switch {
+		case tab != nil && prevRow == nil:
+			for _, b := range row {
+				rowSig += int64(tab[b&0xFFFF])
+				st.hamming += int64(bitops.Popcount32(b & hmask))
+				if b != 0 {
+					st.nonZero++
+				}
+			}
+		case tab != nil:
+			for j, b := range row {
+				rowSig += int64(tab[b&0xFFFF])
+				st.hamming += int64(bitops.Popcount32(b & hmask))
+				if b != 0 {
+					st.nonZero++
+				}
+				st.toggles += int64(bitops.Toggle32(prevRow[j], b))
+			}
+		case prevRow == nil:
+			for _, b := range row {
+				rowSig += int64(softfloat.SigPop32(b))
+				st.hamming += int64(bitops.Popcount32(b & hmask))
+				if b != 0 {
+					st.nonZero++
+				}
+			}
+		default:
+			for j, b := range row {
+				rowSig += int64(softfloat.SigPop32(b))
+				st.hamming += int64(bitops.Popcount32(b & hmask))
+				if b != 0 {
+					st.nonZero++
+				}
+				st.toggles += int64(bitops.Toggle32(prevRow[j], b))
+			}
 		}
-		out[kk] = sum
+		sig[kk] = rowSig
+		prevRow = row
 	}
+	return st
 }
 
 // significandFn returns the per-dtype operand→multiplier-significand
@@ -250,56 +306,15 @@ func significandFn(dt matrix.DType) func(uint32) uint32 {
 	}
 }
 
-// parallelReduce splits [0,n) into per-worker blocks, sums f over each,
-// and stores the grand total.
-func parallelReduce(n int, f func(lo, hi int) int64, out *int64) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		*out = f(0, n)
-		return
-	}
-	partial := make([]int64, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			partial[w] = f(lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var total int64
-	for _, p := range partial {
-		total += p
-	}
-	*out = total
-}
-
-// sampleWalk measures product-register and accumulator-register toggle
-// trajectories on a deterministic sample of output positions, walking
-// the exact per-dtype arithmetic along k, and scales the totals to the
-// full output. It also accumulates the mean operand bit alignment over
-// the sampled multiplied pairs.
-func sampleWalk(p *kernels.Problem, cfg Config, r *Report) {
-	n, k, m := p.Dims()
+// samplePositions draws `samples` distinct output positions from the
+// n×m index space, deterministically for a given seed, via a sparse
+// partial Fisher–Yates shuffle (only the touched prefix of the virtual
+// index array is materialized in a map). Sampling without replacement
+// matters: duplicate positions would skew the scaled Product/Accum
+// toggle estimates by double-counting lanes. When the sample covers the
+// whole output the enumeration is exhaustive and seed-independent.
+func samplePositions(n, m, samples int, seed uint64) [][2]int {
 	total := n * m
-	samples := cfg.SampleOutputs
-	if samples > total {
-		samples = total
-	}
-	src := rng.Derive(cfg.Seed, "activity-samples")
 	positions := make([][2]int, samples)
 	if samples == total {
 		idx := 0
@@ -309,11 +324,56 @@ func sampleWalk(p *kernels.Problem, cfg Config, r *Report) {
 				idx++
 			}
 		}
-	} else {
-		for s := range positions {
-			positions[s] = [2]int{src.Intn(n), src.Intn(m)}
-		}
+		return positions
 	}
+	src := rng.Derive(seed, "activity-samples")
+	swapped := make(map[int]int, samples)
+	for s := 0; s < samples; s++ {
+		r := s + src.Intn(total-s)
+		vr, ok := swapped[r]
+		if !ok {
+			vr = r
+		}
+		vs, ok := swapped[s]
+		if !ok {
+			vs = s
+		}
+		swapped[r] = vs
+		positions[s] = [2]int{vr / m, vr % m}
+	}
+	return positions
+}
+
+// sampleWalk measures product-register and accumulator-register toggle
+// trajectories on a deterministic sample of distinct output positions,
+// walking the exact per-dtype arithmetic along k, and scales the totals
+// to the full output. It also accumulates the mean operand bit
+// alignment over the sampled multiplied pairs.
+//
+// Samples are grouped by output column so each B column is gathered
+// into a contiguous buffer once and walked for every sampled row in
+// that column; the buffer is reused across groups within a worker. The
+// final reduction runs over per-sample slots in a fixed order, so the
+// result is deterministic regardless of worker scheduling.
+func sampleWalk(p *kernels.Problem, cfg Config, r *Report) {
+	n, k, m := p.Dims()
+	total := n * m
+	samples := cfg.SampleOutputs
+	if samples > total {
+		samples = total
+	}
+	positions := samplePositions(n, m, samples, cfg.Seed)
+
+	// Group sample indices by output column, columns in ascending order.
+	byCol := make(map[int][]int)
+	for s, pos := range positions {
+		byCol[pos[1]] = append(byCol[pos[1]], s)
+	}
+	cols := make([]int, 0, len(byCol))
+	for j := range byCol {
+		cols = append(cols, j)
+	}
+	sort.Ints(cols)
 
 	width := p.DType.Width()
 	type walkResult struct {
@@ -322,36 +382,44 @@ func sampleWalk(p *kernels.Problem, cfg Config, r *Report) {
 	}
 	results := make([]walkResult, len(positions))
 
-	var wg sync.WaitGroup
+	walkGroup := func(bCol []uint32, j int) {
+		for kk := 0; kk < k; kk++ {
+			bCol[kk] = p.B.At(kk, j)
+		}
+		for _, s := range byCol[j] {
+			pt, at, al := walkLane(p.DType, p.A.Row(positions[s][0]), bCol, width)
+			results[s] = walkResult{prodTog: pt, accTog: at, alignSum: al}
+		}
+	}
+
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(positions) {
-		workers = len(positions)
+	if workers > len(cols) {
+		workers = len(cols)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			bCol := make([]uint32, k)
-			for s := range jobs {
-				i, j := positions[s][0], positions[s][1]
-				aRow := p.A.Row(i)
-				for kk := 0; kk < k; kk++ {
-					bCol[kk] = p.B.At(kk, j)
+	if workers <= 1 {
+		bCol := make([]uint32, k)
+		for _, j := range cols {
+			walkGroup(bCol, j)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				bCol := make([]uint32, k)
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= len(cols) {
+						return
+					}
+					walkGroup(bCol, cols[c])
 				}
-				pt, at, al := walkLane(p.DType, aRow, bCol, width)
-				results[s] = walkResult{prodTog: pt, accTog: at, alignSum: al}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	for s := range positions {
-		jobs <- s
-	}
-	close(jobs)
-	wg.Wait()
 
 	var prodTog, accTog int64
 	var alignSum float64

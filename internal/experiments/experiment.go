@@ -171,18 +171,20 @@ func iterationsFor(dt matrix.DType) int {
 	return 10000
 }
 
-// runOne executes a single measurement.
-func runOne(cfg Config, exp Experiment, pt Point, dt matrix.DType, seed int) (runOutcome, error) {
+// runOne executes a single measurement. Base matrices come from the
+// per-Run cache: the generation streams depend on (experiment, seed,
+// side) but not on the point, so every point's transform variant
+// derives from the same underlying generation; A and B always differ
+// (§III).
+func runOne(cfg Config, exp Experiment, pt Point, dt matrix.DType, seed int,
+	cache *baseCache, uses map[string]int) (runOutcome, error) {
 	pat := pt.Pattern(dt)
-	// Per-experiment, per-seed streams; A and B always differ (§III).
-	base := rng.Derive(uint64(seed)+1, exp.ID+"/"+pt.Label)
+	base := rng.Derive(uint64(seed)+1, exp.ID)
 	seedA := base.Uint64()
 	seedB := base.Uint64()
 
-	a := matrix.New(dt, cfg.Size, cfg.Size)
-	pat.Apply(a, rng.Derive(seedA, "A"))
-	bgen := matrix.New(dt, cfg.Size, cfg.Size)
-	pat.Apply(bgen, rng.Derive(seedB, "B"))
+	a := materialize(cache, uses, pat, dt, "A", seed, seedA, cfg.Size)
+	bgen := materialize(cache, uses, pat, dt, "B", seed, seedB, cfg.Size)
 	b := bgen
 	if pt.transposeB() {
 		b = bgen.Transpose()
@@ -212,7 +214,9 @@ func runOne(cfg Config, exp Experiment, pt Point, dt matrix.DType, seed int) (ru
 	}
 	meas, err := telemetry.Measure(res, iters, telemetry.Config{
 		VMInstance: cfg.VMInstance,
-		Seed:       seedA ^ seedB,
+		// Decorrelate measurement noise across points: the generation
+		// seeds are point-independent, so fold the point label in.
+		Seed: rng.Derive(seedA^seedB, pt.Label).Uint64(),
 	})
 	if err != nil {
 		return runOutcome{}, err
@@ -254,6 +258,25 @@ func Run(exp Experiment, cfg Config) (*FigureResult, error) {
 		}
 	}
 
+	// Per-Run base-matrix cache, so transform variants across points
+	// (and datatypes of the same encoding class) share one generation
+	// per (seed, side). Refcounts aggregate over the dtypes of a class.
+	cache := newBaseCache()
+	usesByClass := map[matrix.DType]map[string]int{}
+	for _, dt := range cfg.DTypes {
+		cl := encClass(dt)
+		if usesByClass[cl] == nil {
+			usesByClass[cl] = map[string]int{}
+		}
+		for name, n := range baseUses(exp, dt) {
+			usesByClass[cl][name] += n
+		}
+	}
+	uses := make([]map[string]int, len(cfg.DTypes))
+	for di, dt := range cfg.DTypes {
+		uses[di] = usesByClass[encClass(dt)]
+	}
+
 	results := make([]result, len(jobs))
 	var wg sync.WaitGroup
 	workers := cfg.Workers
@@ -267,7 +290,7 @@ func Run(exp Experiment, cfg Config) (*FigureResult, error) {
 			defer wg.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
-				out, err := runOne(cfg, exp, exp.Points[j.pi], cfg.DTypes[j.di], j.seed)
+				out, err := runOne(cfg, exp, exp.Points[j.pi], cfg.DTypes[j.di], j.seed, cache, uses[j.di])
 				results[idx] = result{job: j, out: out, err: err}
 			}
 		}()

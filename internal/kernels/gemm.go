@@ -2,8 +2,6 @@ package kernels
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/matrix"
 	"repro/internal/softfloat"
@@ -27,11 +25,16 @@ func (o *Output) At(i, j int) float64 { return o.Vals[i*o.Cols+j] }
 //	FP16   — binary16 multiply, binary16 accumulate (SIMT HFMA)
 //	FP16-T — binary16 multiply exact in float32, float32 accumulate
 //	         (tensor-core MMA semantics), binary16 final store
+//	BF16-T — bfloat16 multiply exact in float32, float32 accumulate
 //	INT8   — int8 multiply, int32 accumulate (DP4A semantics)
 //
-// Rows are computed in parallel across CPU cores; results are
-// deterministic because each output element's reduction order is fixed
-// (ascending k), matching the per-lane order of the simulated kernel.
+// The engine packs both operands into contiguous decoded panels once
+// per problem (A row-major, B column-major) and computes cache-blocked
+// row ranges with a fused alpha/beta epilogue. Results are bit-identical
+// to decoding inside the loop because element decode is exact and each
+// output element's reduction order is fixed (ascending k), matching the
+// per-lane order of the simulated kernel; row blocks write disjoint
+// output ranges, so parallel execution is deterministic too.
 func Run(p *Problem) (*Output, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -39,54 +42,21 @@ func Run(p *Problem) (*Output, error) {
 	n, _, m := p.Dims()
 	out := &Output{Rows: n, Cols: m, Vals: make([]float64, n*m)}
 
-	var kernel func(i int)
 	switch p.DType {
 	case matrix.FP32:
-		kernel = func(i int) { rowFP32(p, out, i) }
-	case matrix.FP16:
-		kernel = func(i int) { rowFP16(p, out, i) }
+		runF32Acc(p, out, epilogueFP32)
 	case matrix.FP16T:
-		kernel = func(i int) { rowFP16T(p, out, i) }
-	case matrix.INT8:
-		kernel = func(i int) { rowINT8(p, out, i) }
+		runF32Acc(p, out, epilogueFP16T)
 	case matrix.BF16T:
-		kernel = func(i int) { rowBF16T(p, out, i) }
+		runF32Acc(p, out, epilogueBF16T)
+	case matrix.FP16:
+		runFP16(p, out)
+	case matrix.INT8:
+		runINT8(p, out)
 	default:
 		return nil, fmt.Errorf("kernels: unsupported dtype %v", p.DType)
 	}
-
-	parallelRows(n, kernel)
 	return out, nil
-}
-
-// parallelRows fans row indices out to a worker per core.
-func parallelRows(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 func cVal(p *Problem, i, j int) float64 {
@@ -96,90 +66,149 @@ func cVal(p *Problem, i, j int) float64 {
 	return p.C.Value(i, j)
 }
 
-func rowFP32(p *Problem, out *Output, i int) {
-	_, k, m := p.Dims()
-	aRow := p.A.Row(i)
-	for j := 0; j < m; j++ {
-		var acc float32
-		for kk := 0; kk < k; kk++ {
-			a := softfloat.F32FromBits(aRow[kk])
-			b := softfloat.F32FromBits(p.B.At(kk, j))
-			acc += a * b
-		}
-		d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
-		out.Vals[i*m+j] = float64(d)
-	}
+// Fused epilogues: D = αacc + βC in the datatype's exact store
+// semantics, applied as each accumulator retires.
+
+func epilogueFP32(p *Problem, i, j int, acc float32) float64 {
+	d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+	return float64(d)
 }
 
-func rowFP16(p *Problem, out *Output, i int) {
-	_, k, m := p.Dims()
-	aRow := p.A.Row(i)
+func epilogueFP16T(p *Problem, i, j int, acc float32) float64 {
+	d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+	// Tensor-core epilogues store the FP32 accumulator back to the
+	// FP16 output with round-to-nearest.
+	return float64(softfloat.F16ToF32(softfloat.F32ToF16(d)))
+}
+
+func epilogueBF16T(p *Problem, i, j int, acc float32) float64 {
+	d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+	return float64(softfloat.BF16ToF32(softfloat.F32ToBF16(d)))
+}
+
+// dotF32 is the float32 reduction of the packed panels in ascending-k
+// order. A standalone function keeps the accumulator in a register —
+// inside the scheduling closure the compiler spills it to the stack
+// every iteration.
+//
+//go:noinline
+func dotF32(a, b []float32) float32 {
+	var acc float32
+	b = b[:len(a)]
+	for i, v := range a {
+		acc += v * b[i]
+	}
+	return acc
+}
+
+// dotI32 is the int32 reduction of the packed panels.
+//
+//go:noinline
+func dotI32(a, b []int32) int32 {
+	var acc int32
+	b = b[:len(a)]
+	for i, v := range a {
+		acc += v * b[i]
+	}
+	return acc
+}
+
+// runF32Acc executes the datatypes whose multiply is exact in float32
+// and whose accumulator is a float32 register (FP32, FP16-T, BF16-T):
+// a dense dot product over the packed panels with a per-dtype store.
+func runF32Acc(p *Problem, out *Output, epi func(p *Problem, i, j int, acc float32) float64) {
+	n, k, m := p.Dims()
+	dec := f32Decoder(p.DType)
+	aPan := packRowsF32(p.A, dec)
+	bPan := packColsF32(p.B, dec)
+	parallelRowBlocks(n, rowBlock, func(lo, hi int) {
+		for j := 0; j < m; j++ {
+			col := bPan[j*k : j*k+k]
+			for i := lo; i < hi; i++ {
+				acc := dotF32(aPan[i*k:i*k+k], col)
+				out.Vals[i*m+j] = epi(p, i, j, acc)
+			}
+		}
+	})
+}
+
+// runFP16 executes the plain SIMT FP16 path: binary16 multiply and
+// binary16 accumulate per step. The packed panels hold the exact FP32
+// images of the binary16 operands, so round16(a·b) is one F32ToF16 of
+// the float32 product — identical bits to Mul16 on the raw patterns —
+// and the accumulate re-rounds through the binary16 register exactly
+// like FMA16.
+func runFP16(p *Problem, out *Output) {
+	n, k, m := p.Dims()
+	dec := f32Decoder(matrix.FP16)
+	aPan := packRowsF32(p.A, dec)
+	bPan := packColsF32(p.B, dec)
 	alpha := softfloat.F32ToF16(float32(p.Alpha))
 	beta := softfloat.F32ToF16(float32(p.Beta))
-	for j := 0; j < m; j++ {
-		var acc uint16
-		for kk := 0; kk < k; kk++ {
-			acc = softfloat.FMA16(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
+	parallelRowBlocks(n, rowBlock, func(lo, hi int) {
+		for j := 0; j < m; j++ {
+			col := bPan[j*k : j*k+k]
+			for i := lo; i < hi; i++ {
+				row := aPan[i*k : i*k+k]
+				col := col[:len(row)]
+				var acc uint16
+				for kk, a := range row {
+					prod := softfloat.F32ToF16(a * col[kk])
+					acc = softfloat.F32ToF16(softfloat.F16ToF32(prod) + softfloat.F16ToF32(acc))
+				}
+				c := softfloat.F32ToF16(float32(cVal(p, i, j)))
+				d := softfloat.Add16(softfloat.Mul16(alpha, acc), softfloat.Mul16(beta, c))
+				out.Vals[i*m+j] = float64(softfloat.F16ToF32(d))
+			}
 		}
-		c := softfloat.F32ToF16(float32(cVal(p, i, j)))
-		d := softfloat.Add16(softfloat.Mul16(alpha, acc), softfloat.Mul16(beta, c))
-		out.Vals[i*m+j] = float64(softfloat.F16ToF32(d))
-	}
+	})
 }
 
-func rowFP16T(p *Problem, out *Output, i int) {
-	_, k, m := p.Dims()
-	aRow := p.A.Row(i)
-	for j := 0; j < m; j++ {
-		var acc float32
-		for kk := 0; kk < k; kk++ {
-			acc = softfloat.FMA16To32(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
+// runINT8 executes the INT8 path with INT32 accumulation (DP4A
+// semantics) over sign-extended panels.
+func runINT8(p *Problem, out *Output) {
+	n, k, m := p.Dims()
+	aPan := packRowsI32(p.A)
+	bPan := packColsI32(p.B)
+	parallelRowBlocks(n, rowBlock, func(lo, hi int) {
+		for j := 0; j < m; j++ {
+			col := bPan[j*k : j*k+k]
+			for i := lo; i < hi; i++ {
+				acc := dotI32(aPan[i*k:i*k+k], col)
+				out.Vals[i*m+j] = p.Alpha*float64(acc) + p.Beta*cVal(p, i, j)
+			}
 		}
-		d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
-		// Tensor-core epilogues store the FP32 accumulator back to the
-		// FP16 output with round-to-nearest.
-		out.Vals[i*m+j] = float64(softfloat.F16ToF32(softfloat.F32ToF16(d)))
-	}
-}
-
-func rowBF16T(p *Problem, out *Output, i int) {
-	_, k, m := p.Dims()
-	aRow := p.A.Row(i)
-	for j := 0; j < m; j++ {
-		var acc float32
-		for kk := 0; kk < k; kk++ {
-			acc = softfloat.FMABF16To32(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
-		}
-		d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
-		out.Vals[i*m+j] = float64(softfloat.BF16ToF32(softfloat.F32ToBF16(d)))
-	}
-}
-
-func rowINT8(p *Problem, out *Output, i int) {
-	_, k, m := p.Dims()
-	aRow := p.A.Row(i)
-	for j := 0; j < m; j++ {
-		var acc int32
-		for kk := 0; kk < k; kk++ {
-			acc = softfloat.DotI8(int8(uint8(aRow[kk])), int8(uint8(p.B.At(kk, j))), acc)
-		}
-		out.Vals[i*m+j] = p.Alpha*float64(acc) + p.Beta*cVal(p, i, j)
-	}
+	})
 }
 
 // Reference computes the GEMM in float64 with no intermediate rounding,
-// the oracle the datatype kernels are verified against.
+// the oracle the datatype kernels are verified against. It shares the
+// packed-panel layout and block scheduling with the datatype engine.
 func Reference(p *Problem) *Output {
 	n, k, m := p.Dims()
+	aPan := packRowsF64(p.A)
+	bPan := packColsF64(p.B)
 	out := &Output{Rows: n, Cols: m, Vals: make([]float64, n*m)}
-	parallelRows(n, func(i int) {
+	parallelRowBlocks(n, rowBlock, func(lo, hi int) {
 		for j := 0; j < m; j++ {
-			var acc float64
-			for kk := 0; kk < k; kk++ {
-				acc += p.A.Value(i, kk) * p.B.Value(kk, j)
+			col := bPan[j*k : j*k+k]
+			for i := lo; i < hi; i++ {
+				acc := dotF64(aPan[i*k:i*k+k], col)
+				out.Vals[i*m+j] = p.Alpha*acc + p.Beta*cVal(p, i, j)
 			}
-			out.Vals[i*m+j] = p.Alpha*acc + p.Beta*cVal(p, i, j)
 		}
 	})
 	return out
+}
+
+// dotF64 is the float64 reduction for the reference oracle.
+//
+//go:noinline
+func dotF64(a, b []float64) float64 {
+	var acc float64
+	b = b[:len(a)]
+	for i, v := range a {
+		acc += v * b[i]
+	}
+	return acc
 }

@@ -1,0 +1,45 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+// BenchmarkGEMM times one full Run per datatype at a fixed reduced
+// scale, reporting MACs/s. These are the microbenchmarks behind the
+// engine-level perf numbers in the README.
+func BenchmarkGEMM(b *testing.B) {
+	const n = 192
+	for _, dt := range matrix.ExtendedDTypes {
+		b.Run(dt.String(), func(b *testing.B) {
+			a := matrix.New(dt, n, n)
+			bm := matrix.New(dt, n, n)
+			matrix.FillGaussian(a, rng.Derive(1, "A"), 0, matrix.DefaultStd(dt))
+			matrix.FillGaussian(bm, rng.Derive(1, "B"), 0, matrix.DefaultStd(dt))
+			p := NewProblem(dt, a, bm)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			macs := float64(p.MACs()) * float64(b.N)
+			b.ReportMetric(macs/b.Elapsed().Seconds()/1e6, "Mmacs/s")
+		})
+	}
+}
+
+func BenchmarkReference(b *testing.B) {
+	const n = 192
+	a := matrix.New(matrix.FP32, n, n)
+	bm := matrix.New(matrix.FP32, n, n)
+	matrix.FillGaussian(a, rng.Derive(1, "A"), 0, 210)
+	matrix.FillGaussian(bm, rng.Derive(1, "B"), 0, 210)
+	p := NewProblem(matrix.FP32, a, bm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reference(p)
+	}
+}

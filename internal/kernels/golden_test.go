@@ -1,0 +1,181 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/softfloat"
+)
+
+// This file is the golden equivalence proof for the packed/blocked
+// engine: goldenRun is a direct port of the pre-refactor row-at-a-time
+// kernels (per-element At() access, per-element decode, no packing),
+// and every datatype/shape/epilogue combination must match Run
+// bit-for-bit — including NaN, Inf, and subnormal operand patterns.
+
+func goldenRun(p *Problem) *Output {
+	n, k, m := p.Dims()
+	out := &Output{Rows: n, Cols: m, Vals: make([]float64, n*m)}
+	for i := 0; i < n; i++ {
+		aRow := p.A.Row(i)
+		for j := 0; j < m; j++ {
+			switch p.DType {
+			case matrix.FP32:
+				var acc float32
+				for kk := 0; kk < k; kk++ {
+					a := softfloat.F32FromBits(aRow[kk])
+					b := softfloat.F32FromBits(p.B.At(kk, j))
+					acc += a * b
+				}
+				d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+				out.Vals[i*m+j] = float64(d)
+			case matrix.FP16:
+				alpha := softfloat.F32ToF16(float32(p.Alpha))
+				beta := softfloat.F32ToF16(float32(p.Beta))
+				var acc uint16
+				for kk := 0; kk < k; kk++ {
+					acc = softfloat.FMA16(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
+				}
+				c := softfloat.F32ToF16(float32(cVal(p, i, j)))
+				d := softfloat.Add16(softfloat.Mul16(alpha, acc), softfloat.Mul16(beta, c))
+				out.Vals[i*m+j] = float64(softfloat.F16ToF32(d))
+			case matrix.FP16T:
+				var acc float32
+				for kk := 0; kk < k; kk++ {
+					acc = softfloat.FMA16To32(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
+				}
+				d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+				out.Vals[i*m+j] = float64(softfloat.F16ToF32(softfloat.F32ToF16(d)))
+			case matrix.BF16T:
+				var acc float32
+				for kk := 0; kk < k; kk++ {
+					acc = softfloat.FMABF16To32(uint16(aRow[kk]), uint16(p.B.At(kk, j)), acc)
+				}
+				d := float32(p.Alpha)*acc + float32(p.Beta)*float32(cVal(p, i, j))
+				out.Vals[i*m+j] = float64(softfloat.BF16ToF32(softfloat.F32ToBF16(d)))
+			case matrix.INT8:
+				var acc int32
+				for kk := 0; kk < k; kk++ {
+					acc = softfloat.DotI8(int8(uint8(aRow[kk])), int8(uint8(p.B.At(kk, j))), acc)
+				}
+				out.Vals[i*m+j] = p.Alpha*float64(acc) + p.Beta*cVal(p, i, j)
+			}
+		}
+	}
+	return out
+}
+
+// fillRawBits fills a matrix with uniformly random raw patterns in the
+// dtype's lane width — this covers NaN payloads, infinities, and
+// subnormal encodings, the patterns a value-level generator never
+// produces.
+func fillRawBits(m *matrix.Matrix, src *rng.Source) {
+	mask := uint32(1)<<uint(m.DType.Width()) - 1
+	if m.DType.Width() == 32 {
+		mask = ^uint32(0)
+	}
+	for i := range m.Bits {
+		m.Bits[i] = src.Uint32() & mask
+	}
+}
+
+// assertBitIdentical requires exact bit equality for every element,
+// including ±0, infinities, and subnormals. The one permitted
+// difference is the payload of a NaN result: x86 mulss/addss propagate
+// the payload of their *first* operand when both are NaN, and Go does
+// not pin commutative operand order, so payload selection is a
+// register-allocation artifact rather than engine semantics. Both
+// engines must still agree on *whether* an element is NaN.
+func assertBitIdentical(t *testing.T, label string, got, want *Output) {
+	t.Helper()
+	if len(got.Vals) != len(want.Vals) {
+		t.Fatalf("%s: length %d vs %d", label, len(got.Vals), len(want.Vals))
+	}
+	for i := range got.Vals {
+		if math.IsNaN(got.Vals[i]) && math.IsNaN(want.Vals[i]) {
+			continue
+		}
+		if math.Float64bits(got.Vals[i]) != math.Float64bits(want.Vals[i]) {
+			t.Fatalf("%s: element %d differs: got %v (%#x), want %v (%#x)",
+				label, i, got.Vals[i],
+				math.Float64bits(got.Vals[i]), want.Vals[i], math.Float64bits(want.Vals[i]))
+		}
+	}
+}
+
+func TestRunBitIdenticalToGolden(t *testing.T) {
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 33, 9}, {64, 64, 64}, {65, 130, 66}}
+	for _, dt := range matrix.ExtendedDTypes {
+		for si, sh := range shapes {
+			n, k, m := sh[0], sh[1], sh[2]
+			seed := uint64(si*10) + uint64(dt) + 1
+
+			// Gaussian-valued inputs at the paper's σ (drives FP16
+			// accumulators into overflow on larger shapes — Inf/NaN
+			// trajectories must match bitwise too).
+			a := matrix.New(dt, n, k)
+			b := matrix.New(dt, k, m)
+			matrix.FillGaussian(a, rng.Derive(seed, "A"), 0, matrix.DefaultStd(dt))
+			matrix.FillGaussian(b, rng.Derive(seed, "B"), 0, matrix.DefaultStd(dt))
+			p := NewProblem(dt, a, b)
+			got, err := Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, dt.String()+" gaussian", got, goldenRun(p))
+
+			// Raw random bit patterns: NaN/Inf/subnormal operands.
+			ar := matrix.New(dt, n, k)
+			br := matrix.New(dt, k, m)
+			fillRawBits(ar, rng.Derive(seed, "Araw"))
+			fillRawBits(br, rng.Derive(seed, "Braw"))
+			pr := NewProblem(dt, ar, br)
+			got, err = Run(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, dt.String()+" rawbits", got, goldenRun(pr))
+
+			// Fused alpha/beta epilogue with a non-nil C.
+			c := matrix.New(dt, n, m)
+			matrix.FillGaussian(c, rng.Derive(seed, "C"), 0, 1)
+			pc := NewProblem(dt, a, b)
+			pc.C = c
+			pc.Alpha = 0.5
+			pc.Beta = -2
+			got, err = Run(pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, dt.String()+" alphabeta", got, goldenRun(pc))
+		}
+	}
+}
+
+func TestReferenceBitIdenticalToGolden(t *testing.T) {
+	// The packed float64 oracle must match the direct Value()-based
+	// reduction bitwise (same values, same ascending-k order).
+	for _, dt := range matrix.ExtendedDTypes {
+		a := matrix.New(dt, 19, 37)
+		b := matrix.New(dt, 37, 23)
+		matrix.FillGaussian(a, rng.Derive(uint64(dt)+51, "A"), 0, matrix.DefaultStd(dt))
+		matrix.FillGaussian(b, rng.Derive(uint64(dt)+51, "B"), 0, matrix.DefaultStd(dt))
+		p := NewProblem(dt, a, b)
+		p.Alpha = 1.25
+		p.Beta = 0
+
+		want := &Output{Rows: 19, Cols: 23, Vals: make([]float64, 19*23)}
+		for i := 0; i < 19; i++ {
+			for j := 0; j < 23; j++ {
+				var acc float64
+				for kk := 0; kk < 37; kk++ {
+					acc += p.A.Value(i, kk) * p.B.Value(kk, j)
+				}
+				want.Vals[i*23+j] = p.Alpha*acc + p.Beta*cVal(p, i, j)
+			}
+		}
+		assertBitIdentical(t, dt.String()+" reference", Reference(p), want)
+	}
+}

@@ -1,0 +1,99 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/softfloat"
+)
+
+// Operand packing: the engine decodes each operand once per problem
+// into contiguous panels — A row-major, B column-major — so the O(N³)
+// inner loop is a pure dot product over dense slices instead of a
+// strided At(kk, j) walk with a per-element branchy decode. Decoding
+// uses the softfloat lookup tables, and because decode is exact for
+// every datatype, packed arithmetic is bit-identical to decoding inside
+// the loop.
+
+// f32Decoder returns the exact element decoder into float32 for the
+// float datatypes.
+func f32Decoder(dt matrix.DType) func(uint32) float32 {
+	switch dt {
+	case matrix.FP32:
+		return math.Float32frombits
+	case matrix.FP16, matrix.FP16T:
+		return func(b uint32) float32 { return softfloat.F16ToF32(uint16(b)) }
+	case matrix.BF16T:
+		return func(b uint32) float32 { return softfloat.BF16ToF32(uint16(b)) }
+	default:
+		panic("kernels: no float32 decoder for dtype")
+	}
+}
+
+// packRowsF32 decodes a row-major matrix into a row-major float32 panel.
+func packRowsF32(mt *matrix.Matrix, dec func(uint32) float32) []float32 {
+	out := make([]float32, len(mt.Bits))
+	for i, b := range mt.Bits {
+		out[i] = dec(b)
+	}
+	return out
+}
+
+// packColsF32 decodes B (K×M row-major) into M contiguous column
+// panels: out[j*K+kk] = dec(B[kk, j]).
+func packColsF32(mt *matrix.Matrix, dec func(uint32) float32) []float32 {
+	rows, cols := mt.Rows, mt.Cols
+	out := make([]float32, rows*cols)
+	for kk := 0; kk < rows; kk++ {
+		row := mt.Row(kk)
+		for j, b := range row {
+			out[j*rows+kk] = dec(b)
+		}
+	}
+	return out
+}
+
+// packRowsI32 sign-extends INT8 elements into a row-major int32 panel.
+func packRowsI32(mt *matrix.Matrix) []int32 {
+	out := make([]int32, len(mt.Bits))
+	for i, b := range mt.Bits {
+		out[i] = int32(int8(uint8(b)))
+	}
+	return out
+}
+
+// packColsI32 sign-extends B into column-major int32 panels.
+func packColsI32(mt *matrix.Matrix) []int32 {
+	rows, cols := mt.Rows, mt.Cols
+	out := make([]int32, rows*cols)
+	for kk := 0; kk < rows; kk++ {
+		row := mt.Row(kk)
+		for j, b := range row {
+			out[j*rows+kk] = int32(int8(uint8(b)))
+		}
+	}
+	return out
+}
+
+// packRowsF64 decodes any datatype into a row-major float64 panel, for
+// the reference oracle.
+func packRowsF64(mt *matrix.Matrix) []float64 {
+	out := make([]float64, len(mt.Bits))
+	for i, b := range mt.Bits {
+		out[i] = mt.DType.Decode(b)
+	}
+	return out
+}
+
+// packColsF64 decodes B into column-major float64 panels.
+func packColsF64(mt *matrix.Matrix) []float64 {
+	rows, cols := mt.Rows, mt.Cols
+	out := make([]float64, rows*cols)
+	for kk := 0; kk < rows; kk++ {
+		row := mt.Row(kk)
+		for j, b := range row {
+			out[j*rows+kk] = mt.DType.Decode(b)
+		}
+	}
+	return out
+}

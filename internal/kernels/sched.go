@@ -1,0 +1,63 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// rowBlock is the row-range granularity the blocked GEMM (and the
+// float64 reference oracle) schedules work at. A block of rows shares
+// each packed B column while it is hot in cache, and handing out ranges
+// instead of single rows removes the one-channel-message-per-row
+// dispatch overhead of the previous engine.
+const rowBlock = 64
+
+// parallelRowBlocks partitions [0, n) into contiguous blocks of at most
+// block rows and runs f over them, fanning blocks out to one worker per
+// core through an atomic cursor. Workers write disjoint row ranges, so
+// results are deterministic regardless of scheduling order.
+func parallelRowBlocks(n, block int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if block <= 0 {
+		block = rowBlock
+	}
+	nblocks := ceilDiv(n, block)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nblocks {
+		workers = nblocks
+	}
+	if workers <= 1 {
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			f(lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				lo := b * block
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				f(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

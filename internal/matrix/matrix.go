@@ -177,13 +177,21 @@ func (m *Matrix) Clone() *Matrix {
 
 // Transpose returns a new matrix that is the transpose of m. The paper's
 // default configuration transposes B so both operands stream the same
-// pattern along the reduction dimension.
+// pattern along the reduction dimension. The copy is tiled so both the
+// reads and the strided writes stay within cache lines per tile.
 func (m *Matrix) Transpose() *Matrix {
 	out := New(m.DType, m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			out.Bits[j*out.Cols+i] = v
+	const tile = 64
+	for ii := 0; ii < m.Rows; ii += tile {
+		ihi := min(ii+tile, m.Rows)
+		for jj := 0; jj < m.Cols; jj += tile {
+			jhi := min(jj+tile, m.Cols)
+			for i := ii; i < ihi; i++ {
+				row := m.Bits[i*m.Cols : (i+1)*m.Cols]
+				for j := jj; j < jhi; j++ {
+					out.Bits[j*m.Rows+i] = row[j]
+				}
+			}
 		}
 	}
 	return out

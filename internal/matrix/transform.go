@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"math"
+	"math/bits"
 	"slices"
 
 	"repro/internal/bitops"
@@ -33,16 +34,69 @@ func countOf(frac float64, n int) int {
 	return k
 }
 
-// orderableBits32 maps a float32 onto a uint32 whose unsigned order
-// matches the numeric order: negative values are bit-inverted, positive
-// values get the sign bit set. NaNs land above +Inf, giving them a
-// deterministic (if arbitrary) position in sorts.
-func orderableBits32(f float32) uint32 {
-	b := math.Float32bits(f)
-	if b&0x80000000 != 0 {
-		return ^b
+// orderKeyFn returns the raw-pattern → sortable-key mapping for a
+// datatype: the unsigned order of the key matches the decoded numeric
+// order, without decoding to float. For the sign-magnitude FP formats
+// the classic flip works at the native width; INT8 just flips the sign
+// bit of the two's-complement pattern. NaN payloads order arbitrarily
+// but deterministically (they sort above +Inf of their sign).
+func orderKeyFn(dt DType) func(uint32) uint32 {
+	switch dt {
+	case FP32:
+		return func(b uint32) uint32 {
+			if b&0x80000000 != 0 {
+				return ^b
+			}
+			return b | 0x80000000
+		}
+	case FP16, FP16T, BF16T:
+		return func(b uint32) uint32 {
+			h := uint16(b)
+			if h&0x8000 != 0 {
+				return uint32(^h)
+			}
+			return uint32(h) | 0x8000
+		}
+	case INT8:
+		return func(b uint32) uint32 { return uint32(uint8(b)) ^ 0x80 }
+	default:
+		panic("matrix: unknown dtype")
 	}
-	return b | 0x80000000
+}
+
+// sortKeyIdx sorts packed (key<<32 | index) entries by a stable 2-pass
+// 16-bit LSD radix over the key field. The input arrives in index
+// order, and LSD stability makes the result ordered by (key, index) —
+// exactly a full uint64 sort of the packed entries, at O(n) instead of
+// O(n log n) for the multi-million-element full-scale matrices. Small
+// inputs keep the comparison sort (the histogram pass would dominate).
+func sortKeyIdx(keys []uint64) {
+	if len(keys) < 1<<14 {
+		slices.Sort(keys)
+		return
+	}
+	tmp := make([]uint64, len(keys))
+	var count [1 << 16]int32
+	for pass := 0; pass < 2; pass++ {
+		shift := uint(32 + 16*pass)
+		clear(count[:])
+		for _, k := range keys {
+			count[(k>>shift)&0xFFFF]++
+		}
+		var sum int32
+		for b := range count {
+			c := count[b]
+			count[b] = sum
+			sum += c
+		}
+		for _, k := range keys {
+			b := (k >> shift) & 0xFFFF
+			tmp[count[b]] = k
+			count[b]++
+		}
+		keys, tmp = tmp, keys
+	}
+	// Two passes: the fully sorted data is back in the caller's slice.
 }
 
 // partialSortInto reorders the elements so that the k smallest values,
@@ -51,27 +105,53 @@ func orderableBits32(f float32) uint32 {
 // original relative order. dst must be a permutation of all indices.
 //
 // The argsort packs each element's order key and index into one uint64
-// (key high, index low) so a single primitive slices.Sort does a stable
-// value sort — the paper's 2048² matrices hold 4.2M elements, and an
-// interface-based sort.SliceStable here dominated whole experiment
-// sweeps. Every dtype decodes losslessly to float32, so the 32-bit
-// order key is exact.
+// (key high, index low) so a single primitive radix/pdq sort does a
+// stable value sort — the paper's 2048² matrices hold 4.2M elements,
+// and an interface-based sort.SliceStable here dominated whole
+// experiment sweeps. Order keys come straight from the raw bit
+// patterns (orderKeyFn), so no element is decoded.
 func partialSortInto(m *Matrix, frac float64, dst []int) {
+	partialSortIntoScratch(m, frac, dst, &sortScratch{})
+}
+
+// sortScratch holds the working buffers of partialSortIntoScratch so
+// per-row callers (SortWithinRows) can reuse them across many small
+// sorts instead of reallocating three buffers per row.
+type sortScratch struct {
+	keys     []uint64
+	isLowest []bool
+	out      []uint32
+}
+
+func (sc *sortScratch) grow(n int) {
+	if cap(sc.keys) < n {
+		sc.keys = make([]uint64, n)
+		sc.isLowest = make([]bool, n)
+		sc.out = make([]uint32, n)
+	}
+	sc.keys = sc.keys[:n]
+	sc.isLowest = sc.isLowest[:n]
+	sc.out = sc.out[:n]
+	clear(sc.isLowest)
+}
+
+func partialSortIntoScratch(m *Matrix, frac float64, dst []int, sc *sortScratch) {
 	n := len(m.Bits)
 	k := countOf(frac, n)
 	if k == 0 {
 		return
 	}
 
-	keys := make([]uint64, n)
+	key := orderKeyFn(m.DType)
+	sc.grow(n)
+	keys := sc.keys
 	for i, b := range m.Bits {
-		v := float32(m.DType.Decode(b))
-		keys[i] = uint64(orderableBits32(v))<<32 | uint64(uint32(i))
+		keys[i] = uint64(key(b))<<32 | uint64(uint32(i))
 	}
-	slices.Sort(keys)
+	sortKeyIdx(keys)
 
-	isLowest := make([]bool, n)
-	out := make([]uint32, n)
+	isLowest := sc.isLowest
+	out := sc.out
 	// Place the k smallest (in ascending order, ties by original
 	// position) at dst[:k].
 	for p := 0; p < k; p++ {
@@ -130,10 +210,12 @@ func SortIntoCols(m *Matrix, frac float64) {
 // Fig. 5d): within every row, the lowest frac of that row's values are
 // sorted into the row's first indices.
 func SortWithinRows(m *Matrix, frac float64) {
+	dst := rowMajorOrder(1, m.Cols)
+	var sc sortScratch
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		sub := &Matrix{DType: m.DType, Rows: 1, Cols: m.Cols, Bits: row}
-		partialSortInto(sub, frac, rowMajorOrder(1, m.Cols))
+		partialSortIntoScratch(sub, frac, dst, &sc)
 	}
 }
 
@@ -142,17 +224,27 @@ func SortWithinRows(m *Matrix, frac float64) {
 func SortFully(m *Matrix) { SortIntoRows(m, 1) }
 
 // Sparsify sets a uniformly random frac of the elements to zero
-// (§IV-D, Fig. 6a/6b). Positions are chosen without replacement so the
-// realized sparsity is exact up to rounding.
+// (§IV-D, Fig. 6a/6b). Positions are chosen without replacement (a
+// partial Fisher–Yates over the index space — only the first k steps
+// of the shuffle run) so the realized sparsity is exact up to rounding.
 func Sparsify(m *Matrix, src *rng.Source, frac float64) {
 	n := len(m.Bits)
 	k := countOf(frac, n)
 	if k == 0 {
 		return
 	}
-	perm := src.Perm(n)
-	for _, i := range perm[:k] {
-		m.Bits[i] = 0
+	if k == n {
+		Zero(m)
+		return
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for s := 0; s < k; s++ {
+		j := s + src.Intn(n-s)
+		idx[s], idx[j] = idx[j], idx[s]
+		m.Bits[idx[s]] = 0
 	}
 }
 
@@ -160,20 +252,56 @@ func Sparsify(m *Matrix, src *rng.Source, frac float64) {
 // probability p (§IV-B, Fig. 4a). Starting from a constant-filled
 // matrix, p = 0 leaves all elements identical and p = 0.5 makes them
 // independently random.
+//
+// Dense flip probabilities draw one threshold-compared word per bit;
+// sparse ones (p < ¼) jump between flips with geometric skips, so the
+// work scales with the number of flips instead of the number of bits.
+// Both are exact Bernoulli processes per bit.
 func RandomBitFlips(m *Matrix, src *rng.Source, p float64) {
 	p = clampFrac(p)
 	if p == 0 {
 		return
 	}
 	width := m.DType.Width()
-	for i := range m.Bits {
-		var flip uint32
-		for b := 0; b < width; b++ {
-			if src.Float64() < p {
-				flip |= 1 << uint(b)
-			}
+	if p >= 1 {
+		mask := bitops.LowMask(width)
+		for i := range m.Bits {
+			m.Bits[i] ^= mask
 		}
-		m.Bits[i] ^= flip
+		return
+	}
+	if p >= 0.25 {
+		// One 63-bit threshold compare per bit.
+		thresh := uint64(p * (1 << 63))
+		for i := range m.Bits {
+			var flip uint32
+			for b := 0; b < width; b++ {
+				if src.Uint64()>>1 < thresh {
+					flip |= 1 << uint(b)
+				}
+			}
+			m.Bits[i] ^= flip
+		}
+		return
+	}
+	// Geometric skipping over the matrix's global bit stream: the gap
+	// between successive flips is Geometric(p) by inversion sampling.
+	total := len(m.Bits) * width
+	shift := uint(bits.TrailingZeros(uint(width))) // widths are powers of two
+	mask := width - 1
+	lnq := math.Log(1 - p)
+	pos := 0
+	for {
+		skip := math.Floor(math.Log(1-src.Float64()) / lnq)
+		if skip >= float64(total-pos) {
+			return
+		}
+		pos += int(skip)
+		m.Bits[pos>>shift] ^= 1 << uint(pos&mask)
+		pos++
+		if pos >= total {
+			return
+		}
 	}
 }
 

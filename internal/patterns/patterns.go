@@ -16,48 +16,74 @@ import (
 	"repro/internal/rng"
 )
 
-// Pattern is a named input-data construction.
+// Pattern is a named input-data construction: a base generation stage
+// followed by zero or more transform stages. The split is exposed so
+// that runners can generate a base matrix once and derive transform
+// variants from clones of it (the experiments engine caches base
+// matrices per seed this way), while Fill/Apply still run the whole
+// pipeline in one pass for single-use callers.
 type Pattern struct {
 	// Name identifies the pattern in result tables, e.g.
 	// "gaussian(mean=0,std=210)|sort(rows,50%)".
 	Name string
-	// Fill populates m using the given random stream.
+	// Fill populates m using the given random stream, running the base
+	// stage and every transform.
 	Fill func(m *matrix.Matrix, src *rng.Source)
+	// BaseName names the generation stage (the pipeline prefix before
+	// the first transform); it equals Name for pure generators.
+	BaseName string
+	// BaseFill runs only the generation stage.
+	BaseFill func(m *matrix.Matrix, src *rng.Source)
+	// Transform runs the post-generation transform chain, or is nil
+	// when the pattern is just a generator.
+	Transform func(m *matrix.Matrix, src *rng.Source)
 }
 
 // Apply fills the matrix.
 func (p Pattern) Apply(m *matrix.Matrix, src *rng.Source) { p.Fill(m, src) }
 
+// generator builds a base Pattern whose base stage is the whole fill.
+func generator(name string, fill func(m *matrix.Matrix, src *rng.Source)) Pattern {
+	return Pattern{Name: name, Fill: fill, BaseName: name, BaseFill: fill}
+}
+
 // Then composes a transform after this pattern's fill.
 func (p Pattern) Then(name string, f func(m *matrix.Matrix, src *rng.Source)) Pattern {
+	prevFill := p.Fill
+	xform := f
+	if prev := p.Transform; prev != nil {
+		xform = func(m *matrix.Matrix, src *rng.Source) {
+			prev(m, src)
+			f(m, src)
+		}
+	}
 	return Pattern{
 		Name: p.Name + "|" + name,
 		Fill: func(m *matrix.Matrix, src *rng.Source) {
-			p.Fill(m, src)
+			prevFill(m, src)
 			f(m, src)
 		},
+		BaseName:  p.BaseName,
+		BaseFill:  p.BaseFill,
+		Transform: xform,
 	}
 }
 
 // Gaussian fills with Gaussian variates (§IV-A).
 func Gaussian(mean, std float64) Pattern {
-	return Pattern{
-		Name: fmt.Sprintf("gaussian(mean=%g,std=%g)", mean, std),
-		Fill: func(m *matrix.Matrix, src *rng.Source) {
+	return generator(fmt.Sprintf("gaussian(mean=%g,std=%g)", mean, std),
+		func(m *matrix.Matrix, src *rng.Source) {
 			matrix.FillGaussian(m, src, mean, std)
-		},
-	}
+		})
 }
 
 // GaussianDefault fills with the paper's default distribution for the
 // matrix's datatype: mean 0, σ = 210 for FP, σ = 25 for INT8.
 func GaussianDefault() Pattern {
-	return Pattern{
-		Name: "gaussian(default)",
-		Fill: func(m *matrix.Matrix, src *rng.Source) {
+	return generator("gaussian(default)",
+		func(m *matrix.Matrix, src *rng.Source) {
 			matrix.FillGaussian(m, src, 0, matrix.DefaultStd(m.DType))
-		},
-	}
+		})
 }
 
 // FromSet fills with values drawn uniformly (with replacement) from a
@@ -65,43 +91,35 @@ func GaussianDefault() Pattern {
 // itself is drawn from the same stream, so different seeds give
 // different sets.
 func FromSet(n int, mean, std float64) Pattern {
-	return Pattern{
-		Name: fmt.Sprintf("set(n=%d,mean=%g,std=%g)", n, mean, std),
-		Fill: func(m *matrix.Matrix, src *rng.Source) {
+	return generator(fmt.Sprintf("set(n=%d,mean=%g,std=%g)", n, mean, std),
+		func(m *matrix.Matrix, src *rng.Source) {
 			set := matrix.GaussianSet(src, n, mean, std)
 			matrix.FillFromSet(m, src, set)
-		},
-	}
+		})
 }
 
 // ConstantRandom fills the whole matrix with a single Gaussian draw
 // (§IV-B: "the A matrix is initially filled with one random value and
 // the B matrix is filled with another random value").
 func ConstantRandom(mean, std float64) Pattern {
-	return Pattern{
-		Name: fmt.Sprintf("constant(random,mean=%g,std=%g)", mean, std),
-		Fill: func(m *matrix.Matrix, src *rng.Source) {
+	return generator(fmt.Sprintf("constant(random,mean=%g,std=%g)", mean, std),
+		func(m *matrix.Matrix, src *rng.Source) {
 			matrix.FillConstant(m, src.Gaussian(mean, std))
-		},
-	}
+		})
 }
 
 // Uniform fills with uniform variates in [lo, hi).
 func Uniform(lo, hi float64) Pattern {
-	return Pattern{
-		Name: fmt.Sprintf("uniform(%g,%g)", lo, hi),
-		Fill: func(m *matrix.Matrix, src *rng.Source) {
+	return generator(fmt.Sprintf("uniform(%g,%g)", lo, hi),
+		func(m *matrix.Matrix, src *rng.Source) {
 			matrix.FillUniform(m, src, lo, hi)
-		},
-	}
+		})
 }
 
 // Constant fills with a fixed value.
 func Constant(v float64) Pattern {
-	return Pattern{
-		Name: fmt.Sprintf("constant(%g)", v),
-		Fill: func(m *matrix.Matrix, _ *rng.Source) { matrix.FillConstant(m, v) },
-	}
+	return generator(fmt.Sprintf("constant(%g)", v),
+		func(m *matrix.Matrix, _ *rng.Source) { matrix.FillConstant(m, v) })
 }
 
 // BitFlips applies independent per-bit flips with probability p

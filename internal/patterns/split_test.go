@@ -1,0 +1,57 @@
+package patterns
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+// TestBaseTransformSplit verifies that running BaseFill into a matrix
+// and then Transform on a clone produces the same result as the
+// monolithic Fill when both consume equivalent streams, and that the
+// split metadata survives composition and DSL parsing.
+func TestBaseTransformSplit(t *testing.T) {
+	p := GaussianDefault().Sorted(SortRows, 0.5).Sparse(0.3)
+	if p.BaseName != "gaussian(default)" {
+		t.Errorf("BaseName = %q", p.BaseName)
+	}
+	if p.BaseFill == nil || p.Transform == nil {
+		t.Fatal("split pipeline must expose BaseFill and Transform")
+	}
+
+	// Monolithic fill.
+	whole := matrix.New(matrix.FP16, 16, 16)
+	p.Fill(whole, rng.New(42))
+
+	// Split fill from the same stream: base consumes the prefix,
+	// transform the suffix — exactly what Fill does internally.
+	split := matrix.New(matrix.FP16, 16, 16)
+	src := rng.New(42)
+	p.BaseFill(split, src)
+	p.Transform(split, src)
+
+	if !whole.Equal(split) {
+		t.Error("BaseFill+Transform must equal Fill on the same stream")
+	}
+}
+
+func TestGeneratorHasNoTransform(t *testing.T) {
+	g := Gaussian(0, 1)
+	if g.Transform != nil {
+		t.Error("pure generator should have nil Transform")
+	}
+	if g.BaseName != g.Name {
+		t.Errorf("generator BaseName %q != Name %q", g.BaseName, g.Name)
+	}
+}
+
+func TestParsedPatternsCarrySplit(t *testing.T) {
+	p, err := Parse("gaussian(default) | sort(rows, 50%) | sparsify(30%)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BaseName != "gaussian(default)" || p.Transform == nil {
+		t.Errorf("parsed pipeline split missing: base %q", p.BaseName)
+	}
+}

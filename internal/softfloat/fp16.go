@@ -34,7 +34,47 @@ const (
 // semantics, handling subnormals, overflow to infinity, and NaN
 // quieting. This mirrors the numeric conversion the paper applies when
 // deriving FP16 inputs from generated FP32 values.
+//
+// The implementation is the branch-light magic-number formulation: the
+// normal path implements RNE with one integer add (+0xFFF plus the
+// odd-mantissa bit), and the subnormal path aligns the half mantissa at
+// the bottom of a float via one FP32 addition, whose hardware rounding
+// is exactly the RNE the conversion needs. f32ToF16Compute is the
+// field-by-field reference it is verified against.
 func F32ToF16(f float32) uint16 {
+	const (
+		f32Infty    = uint32(255) << 23
+		f16Max      = uint32(127+16) << 23
+		subnormal   = uint32(113) << 23
+		denormMagic = uint32(((127 - 15) + (23 - 10) + 1)) << 23
+	)
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & F16SignMask
+	b &^= F32SignMask
+
+	if b >= f16Max {
+		// Inf, NaN, or a finite value rounding past the binary16 range.
+		if b > f32Infty {
+			return sign | f16QNaN
+		}
+		return sign | f16Inf
+	}
+	if b < subnormal {
+		// Result is a binary16 subnormal or zero: the FP32 add rounds the
+		// value at exactly the half-subnormal precision (RNE in hardware),
+		// and the integer subtract re-biases the aligned mantissa.
+		v := math.Float32frombits(b) + math.Float32frombits(denormMagic)
+		return sign | uint16(math.Float32bits(v)-denormMagic)
+	}
+	mantOdd := (b >> 13) & 1
+	b -= uint32(112) << 23 // re-bias exponent 127 → 15
+	b += 0xFFF + mantOdd   // round to nearest, ties to even
+	return sign | uint16(b>>13)
+}
+
+// f32ToF16Compute is the field-by-field RNE conversion, kept as the
+// reference implementation the fast path is tested against.
+func f32ToF16Compute(f float32) uint16 {
 	b := math.Float32bits(f)
 	sign := uint16(b>>16) & F16SignMask
 	exp := int32(b>>23) & 0xFF
@@ -83,8 +123,13 @@ func F32ToF16(f float32) uint16 {
 }
 
 // F16ToF32 converts a binary16 value to FP32 exactly (every binary16
-// value is representable in binary32).
-func F16ToF32(h uint16) float32 {
+// value is representable in binary32). It is a 65,536-entry table
+// lookup; the table is built from f16ToF32Compute at init.
+func F16ToF32(h uint16) float32 { return f16DecodeLUT[h] }
+
+// f16ToF32Compute is the field-by-field decode used to build the lookup
+// table and to verify it.
+func f16ToF32Compute(h uint16) float32 {
 	sign := uint32(h&F16SignMask) << 16
 	exp := uint32(h&F16ExpMask) >> F16MantBits
 	mant := uint32(h & F16MantMask)
