@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -78,37 +79,68 @@ func parse(path string) (map[string]float64, error) {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so tests can drive the
+// whole gate including flag parsing and exit codes: 0 = within
+// threshold (or skipped), 1 = regression, 2 = usage/IO error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		threshold = flag.Float64("threshold", 25, "fail when a benchmark slows down by more than this percentage")
-		filter    = flag.String("filter", `^BenchmarkFig`, "regexp of benchmark names the gate applies to")
+		threshold = fs.Float64("threshold", 25, "fail when a benchmark slows down by more than this percentage")
+		filter    = fs.String("filter", `^BenchmarkFig`, "regexp of benchmark names the gate applies to")
 	)
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-filter re] old.json new.json")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-filter re] old.json new.json")
+		return 2
 	}
 	filterRe, err := regexp.Compile(*filter)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: bad filter: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: bad filter: %v\n", err)
+		return 2
 	}
 
-	old, err := parse(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+	// A missing prior artifact (first run, expired retention, forked
+	// PR without artifact access) is a graceful skip, not a failure —
+	// there is nothing to regress against.
+	if _, statErr := os.Stat(fs.Arg(0)); os.IsNotExist(statErr) {
+		fmt.Fprintf(stdout, "benchdiff: prior artifact %s does not exist; skipping gate\n", fs.Arg(0))
+		return 0
 	}
-	cur, err := parse(flag.Arg(1))
+	old, err := parse(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := parse(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
 	}
 	if len(old) == 0 {
-		// An empty or unparsable prior artifact is a skip, not a failure.
-		fmt.Println("benchdiff: no benchmarks in prior artifact; skipping gate")
-		return
+		// An empty or unparsable prior artifact is a skip too.
+		fmt.Fprintln(stdout, "benchdiff: no benchmarks in prior artifact; skipping gate")
+		return 0
 	}
 
+	if gate(old, cur, *threshold, filterRe, stdout) {
+		fmt.Fprintf(stdout, "\nbenchdiff: wall-time regression beyond %.0f%% detected\n", *threshold)
+		return 1
+	}
+	fmt.Fprintln(stdout, "\nbenchdiff: within threshold")
+	return 0
+}
+
+// gate prints the comparison table and reports whether any benchmark
+// matching the filter regressed by strictly more than threshold
+// percent (a delta of exactly the threshold passes). Benchmarks on
+// only one side are reported but never fail the gate.
+func gate(old, cur map[string]float64, threshold float64, filterRe *regexp.Regexp, w io.Writer) bool {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		names = append(names, name)
@@ -116,30 +148,31 @@ func main() {
 	sort.Strings(names)
 
 	failed := false
-	fmt.Printf("%-36s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-36s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, name := range names {
 		newNs := cur[name]
 		oldNs, ok := old[name]
 		if !ok {
-			fmt.Printf("%-36s %12s %12.0f %8s\n", name, "-", newNs, "new")
+			fmt.Fprintf(w, "%-36s %12s %12.0f %8s\n", name, "-", newNs, "new")
 			continue
 		}
 		delta := 100 * (newNs - oldNs) / oldNs
 		mark := ""
-		if filterRe.MatchString(name) && delta > *threshold {
+		if filterRe.MatchString(name) && delta > threshold {
 			mark = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-36s %12.0f %12.0f %+7.1f%%%s\n", name, oldNs, newNs, delta, mark)
+		fmt.Fprintf(w, "%-36s %12.0f %12.0f %+7.1f%%%s\n", name, oldNs, newNs, delta, mark)
 	}
+	gone := make([]string, 0)
 	for name := range old {
 		if _, ok := cur[name]; !ok {
-			fmt.Printf("%-36s %12.0f %12s %8s\n", name, old[name], "-", "gone")
+			gone = append(gone, name)
 		}
 	}
-	if failed {
-		fmt.Printf("\nbenchdiff: wall-time regression beyond %.0f%% detected\n", *threshold)
-		os.Exit(1)
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-36s %12.0f %12s %8s\n", name, old[name], "-", "gone")
 	}
-	fmt.Println("\nbenchdiff: within threshold")
+	return failed
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// event builds one `go test -json` output event carrying a benchmark
+// measurement in the inline (name-leading) shape.
+func event(bench string, ns float64) string {
+	return fmt.Sprintf(`{"Action":"output","Test":"%s","Output":"%s-8 \t       3\t%g ns/op\n"}`+"\n",
+		bench, bench, ns)
+}
+
+func TestParseStreams(t *testing.T) {
+	// Both `go test -json` measurement shapes parse: the name-leading
+	// benchmark line and the bare measurement line attributed via the
+	// Test field; the -cpu suffix is stripped; repeated runs keep the
+	// last value; non-JSON and irrelevant lines are tolerated.
+	content := strings.Join([]string{
+		`not json at all`,
+		`{"Action":"run","Test":"BenchmarkFig1"}`,
+		event("BenchmarkFig1", 100),
+		event("BenchmarkFig1", 120), // later run wins
+		`{"Action":"output","Test":"BenchmarkFig2-8","Output":"       5\t250.5 ns/op\t  12 B/op\n"}`,
+		`{"Action":"output","Test":"","Output":"PASS\n"}`,
+		``,
+	}, "\n")
+	got, err := parse(writeFile(t, "stream.json", content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkFig1"] != 120 {
+		t.Errorf("BenchmarkFig1 = %v, want 120 (last run wins)", got["BenchmarkFig1"])
+	}
+	if got["BenchmarkFig2"] != 250.5 {
+		t.Errorf("BenchmarkFig2 = %v, want 250.5 (cpu suffix stripped)", got["BenchmarkFig2"])
+	}
+}
+
+func TestParseMalformedJSON(t *testing.T) {
+	// A file of pure garbage parses to zero benchmarks (each bad line
+	// skipped) rather than erroring — the gate then skips.
+	got, err := parse(writeFile(t, "garbage.json", "{{{\nnope\n\x00\xff\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("garbage parsed to %v", got)
+	}
+}
+
+func TestGateThresholdBoundary(t *testing.T) {
+	// The gate fails strictly above the threshold: a slowdown of
+	// exactly 25% passes, the next representable step beyond fails.
+	filter := regexp.MustCompile(`^BenchmarkFig`)
+	old := map[string]float64{"BenchmarkFig1": 100}
+
+	var buf bytes.Buffer
+	if gate(old, map[string]float64{"BenchmarkFig1": 125}, 25, filter, &buf) {
+		t.Error("exactly +25.0% must not fail a 25% gate")
+	}
+	if !gate(old, map[string]float64{"BenchmarkFig1": 125.1}, 25, filter, &buf) {
+		t.Error("+25.1% must fail a 25% gate")
+	}
+	// Names outside the filter never fail, whatever the delta.
+	if gate(map[string]float64{"BenchmarkGEMM": 100}, map[string]float64{"BenchmarkGEMM": 500}, 25, filter, &buf) {
+		t.Error("benchmarks outside the filter must not fail the gate")
+	}
+	// One-sided benchmarks (new or gone) are reported, never failures.
+	if gate(old, map[string]float64{"BenchmarkFig9": 1e9}, 25, filter, &buf) {
+		t.Error("a benchmark with no prior measurement must not fail the gate")
+	}
+	out := buf.String()
+	for _, want := range []string{"new", "gone", "REGRESSION"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	okOld := writeFile(t, "old.json", event("BenchmarkFig1", 100))
+	slow := writeFile(t, "slow.json", event("BenchmarkFig1", 200))
+	same := writeFile(t, "same.json", event("BenchmarkFig1", 100))
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+		out  string
+	}{
+		{"within threshold", []string{okOld, same}, 0, "within threshold"},
+		{"regression", []string{okOld, slow}, 1, "REGRESSION"},
+		{"exact boundary passes", []string{"-threshold", "100", okOld, slow}, 0, "within threshold"},
+		{"missing prior artifact skips", []string{filepath.Join(t.TempDir(), "absent.json"), same}, 0, "skipping gate"},
+		{"empty prior artifact skips", []string{writeFile(t, "empty.json", ""), same}, 0, "skipping gate"},
+		{"garbage prior artifact skips", []string{writeFile(t, "garbage.json", "{{{\nnot json\n"), same}, 0, "skipping gate"},
+		{"missing current artifact errors", []string{okOld, filepath.Join(t.TempDir(), "absent.json")}, 2, ""},
+		{"usage error", []string{okOld}, 2, ""},
+		{"bad filter", []string{"-filter", "([", okOld, same}, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", got, tc.want, stdout.String(), stderr.String())
+			}
+			if tc.out != "" && !strings.Contains(stdout.String(), tc.out) {
+				t.Errorf("stdout missing %q:\n%s", tc.out, stdout.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+// Command fleetsim runs the trace-driven fleet power simulator
+// (internal/fleet): a stream of GEMM jobs is scheduled onto N
+// heterogeneous simulated devices, per-device power and temperature
+// are integrated over time, an aggregate power cap and thermal
+// throttling are enforced, and the run is reduced to an operator-style
+// report (fleet watts, utilization, throttle events, job latency
+// percentiles).
+//
+// Workloads come from a JSON trace file (-trace, see internal/fleet
+// Trace) or are generated synthetically from a seed; equal seeds and
+// flags produce byte-identical reports:
+//
+//	fleetsim -devices "A100-PCIe-40GB:4" -jobs 256 -seed 1 -cap 400
+//	fleetsim -devices "A100-PCIe-40GB:2,H100-SXM5-80GB:2" -trace jobs.json -format csv -samples
+//	fleetsim -serve http://localhost:8090 ...   # operating points via POST /predict/batch
+//
+// Without -serve, operating points come from the in-process model
+// oracle (one simulation per distinct (device, dtype, pattern, size)
+// key, memoized).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/fleet"
+)
+
+func main() {
+	var (
+		devicesFlag = flag.String("devices", "A100-PCIe-40GB:4", "fleet spec: comma-separated model:count pairs (models from device presets)")
+		traceFile   = flag.String("trace", "", "JSON trace file ({\"jobs\": [...]}); empty generates a synthetic workload")
+		jobs        = flag.Int("jobs", 256, "synthetic workload: job count")
+		rate        = flag.Float64("rate", 200, "synthetic workload: mean arrival rate, jobs/s")
+		seed        = flag.Uint64("seed", 1, "synthetic workload seed; equal seeds give identical runs")
+		sizesFlag   = flag.String("sizes", "128,256,512", "synthetic workload: GEMM sizes")
+		dtypesFlag  = flag.String("dtypes", "FP16,FP16-T,INT8", "synthetic workload: datatype mix")
+		patsFlag    = flag.String("patterns", "", "synthetic workload: semicolon-separated pattern DSLs (default: mixed paper axes)")
+		capW        = flag.Float64("cap", 0, "aggregate fleet power cap in watts (0 = uncapped)")
+		ambient     = flag.Float64("ambient", 0, "rack inlet temperature °C override (0 = device presets)")
+		tick        = flag.Float64("tick", 1e-3, "integration step, seconds")
+		horizon     = flag.Float64("horizon", 300, "abort unfinished runs at this simulated time, seconds")
+		serveURL    = flag.String("serve", "", "resolve operating points via this powerserve base URL's /predict/batch (default: in-process model oracle)")
+		format      = flag.String("format", "json", "report format: json or csv (csv implies -samples)")
+		samples     = flag.Bool("samples", false, "record the full telemetry timeline in the report")
+		out         = flag.String("o", "", "write the report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	devs, err := parseDevices(*devicesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var trace *fleet.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = fleet.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg := fleet.SyntheticConfig{
+			Jobs:     *jobs,
+			RatePerS: *rate,
+			Seed:     *seed,
+			Sizes:    sizes,
+			DTypes:   splitList(*dtypesFlag, ","),
+		}
+		if *patsFlag != "" {
+			cfg.Patterns = splitList(*patsFlag, ";")
+		}
+		trace, err = fleet.Synthetic(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var oracle fleet.Oracle = fleet.NewModelOracle()
+	if *serveURL != "" {
+		oracle = fleet.NewHTTPOracle(strings.TrimRight(*serveURL, "/"))
+	}
+
+	report, err := fleet.Run(context.Background(), fleet.Config{
+		Devices:       devs,
+		Oracle:        oracle,
+		PowerCapW:     *capW,
+		AmbientC:      *ambient,
+		TickS:         *tick,
+		HorizonS:      *horizon,
+		RecordSamples: *samples || *format == "csv",
+	}, trace)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = report.WriteJSON(w)
+	case "csv":
+		err = report.WriteCSV(w)
+	default:
+		err = fmt.Errorf("unknown format %q (json or csv)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	// A one-line operator summary on stderr, so it never pollutes a
+	// report piped from stdout.
+	fmt.Fprintf(os.Stderr,
+		"fleetsim: %d devices, %d/%d jobs, makespan %.3fs, avg %.0fW peak %.0fW, p99 latency %.3fs, %d throttle events, %d/%d oracle lookups distinct\n",
+		len(devs), report.Completed, report.Jobs, report.DurationS,
+		report.AvgFleetW, report.PeakFleetW, report.LatencyP99S,
+		len(report.ThrottleEvents), report.Oracle.Distinct, report.Oracle.Lookups)
+	if report.Unfinished > 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: %d jobs unfinished at horizon %.0fs\n", report.Unfinished, *horizon)
+		os.Exit(1)
+	}
+}
+
+// parseDevices expands "A100-PCIe-40GB:2,H100-SXM5-80GB:1" into device
+// instances. A bare model name means count 1.
+func parseDevices(spec string) ([]*device.Device, error) {
+	var devs []*device.Device
+	for _, part := range splitList(spec, ",") {
+		name, count := part, 1
+		if i := strings.LastIndex(part, ":"); i >= 0 {
+			name = strings.TrimSpace(part[:i])
+			n, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fleetsim: bad device count in %q", part)
+			}
+			count = n
+		}
+		proto := device.ByName(name)
+		if proto == nil {
+			return nil, fmt.Errorf("fleetsim: unknown device %q (have %v)", name, device.Names())
+		}
+		for i := 0; i < count; i++ {
+			// Fresh value per instance: device presets are constructors,
+			// so each call already returns an independent struct.
+			devs = append(devs, device.ByName(name))
+		}
+	}
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("fleetsim: empty device spec")
+	}
+	return devs, nil
+}
+
+func splitList(s, sep string) []string {
+	var out []string
+	for _, p := range strings.Split(s, sep) {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s, ",") {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("fleetsim: bad size %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+	os.Exit(1)
+}

@@ -12,9 +12,18 @@
 // by (device, dtype, canonical pattern, size) that lets repeated
 // queries skip the GEMM-simulation hot path, and a sharded worker pool
 // sized by GOMAXPROCS. cmd/powerserve serves it over HTTP/JSON
-// (/predict, /train, /healthz) and examples/loadgen drives it with a
-// mixed pattern workload, reporting throughput, latency percentiles
-// and cache hit-rate.
+// (/predict, /predict/batch, /train, /healthz — see docs/API.md) and
+// examples/loadgen drives it with a mixed pattern workload in
+// single-shot or batched mode, reporting throughput, latency
+// percentiles and cache hit-rate.
+//
+// internal/fleet scales the effect to datacenter operations: a
+// deterministic trace-driven simulator schedules GEMM job streams onto
+// heterogeneous device fleets, integrates power and temperature,
+// enforces aggregate power caps and thermal throttling, and resolves
+// per-job operating points through the batched prediction path (one
+// simulation per distinct key, however many jobs are queued).
+// cmd/fleetsim is its CLI and examples/fleet the walkthrough.
 //
 // # Engine architecture
 //
@@ -47,16 +56,18 @@
 //     within a Run so sweep points derive transform variants from one
 //     generation.
 //
-// See README.md for the layout, quickstart, serving architecture and
-// the measured before/after performance table, DESIGN.md for the
-// system inventory and the hardware-substitution rationale, and
-// EXPERIMENTS.md for paper-versus-measured trends per figure.
+// See README.md for the layout and quickstart, docs/ARCHITECTURE.md
+// for the package map, the bit-identity guarantee, the caching layers
+// and the measured before/after performance table, and docs/API.md for
+// the serving endpoints (every documented example body is round-tripped
+// through the real handler by internal/serve's apidoc test).
 //
 // The benchmarks in bench_test.go regenerate each figure at a reduced
 // scale (one per table/figure of the paper); cmd/figures runs the
 // full-scale campaign (with -cpuprofile/-memprofile for perf work).
-// CI (.github/workflows/ci.yml) gates gofmt, vet, build, race tests,
-// and a bench smoke pass whose JSON output is kept as a per-commit
-// BENCH_*.json artifact; cmd/benchdiff compares successive artifacts
-// and fails CI on a >25% figure-benchmark regression.
+// CI (.github/workflows/ci.yml) gates gofmt, vet, doc-comment coverage
+// (cmd/doccheck), build (examples included), race tests, a bench smoke
+// pass whose JSON output is kept as a per-commit BENCH_*.json artifact
+// (cmd/benchdiff fails CI on a >25% figure-benchmark regression), and
+// a deterministic capped fleetsim smoke run uploaded as an artifact.
 package repro

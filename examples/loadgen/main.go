@@ -10,6 +10,14 @@
 // The default workload cycles a small set of patterns, so after the
 // first pass almost every request is a cache hit; -unique switches to
 // all-distinct patterns to measure the uncached simulation path.
+//
+// -batch groups the same workload into POST /predict/batch bodies of
+// the given size, so one HTTP round trip answers many predictions and
+// the server coalesces duplicate keys; compare the reported
+// request throughput against a -batch 0 run of the same workload:
+//
+//	go run ./examples/loadgen -c 64 -n 8192            # single-shot
+//	go run ./examples/loadgen -c 64 -n 8192 -batch 32  # batched
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/patterns"
@@ -34,6 +43,20 @@ type predictRequest struct {
 	DType   string `json:"dtype,omitempty"`
 	Pattern string `json:"pattern,omitempty"`
 	Size    int    `json:"size,omitempty"`
+}
+
+type batchRequest struct {
+	Requests []predictRequest `json:"requests"`
+}
+
+type batchItem struct {
+	Error string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Items     []batchItem `json:"items"`
+	Distinct  int         `json:"distinct"`
+	Coalesced int         `json:"coalesced"`
 }
 
 type healthResponse struct {
@@ -50,6 +73,7 @@ func main() {
 		dtype    = flag.String("dtype", "FP16", "datatype")
 		patsFlag = flag.String("patterns", "", "semicolon-separated pattern DSLs (default: a mixed set of 8); patterns contain commas, so ';' separates")
 		unique   = flag.Bool("unique", false, "make every request a distinct pattern (all cache misses)")
+		batch    = flag.Int("batch", 0, "group requests into /predict/batch bodies of this size (0 = single-shot /predict)")
 	)
 	flag.Parse()
 
@@ -85,9 +109,17 @@ func main() {
 	}
 	before := health(client, *addr)
 
+	patternFor := func(i int) string {
+		if *unique {
+			return fmt.Sprintf("constant(%d)", i)
+		}
+		return pats[i%len(pats)]
+	}
+
 	jobs := make(chan int)
 	latencies := make([]time.Duration, *total)
 	errs := make([]error, *total)
+	var coalesced, distinct int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *conc; w++ {
@@ -95,19 +127,49 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				pat := pats[i%len(pats)]
-				if *unique {
-					pat = fmt.Sprintf("constant(%d)", i)
+				if *batch <= 0 {
+					t0 := time.Now()
+					errs[i] = predict(client, *addr, predictRequest{
+						DType: *dtype, Pattern: patternFor(i), Size: *size,
+					})
+					latencies[i] = time.Since(t0)
+					continue
+				}
+				// i is the first request index of a batch; every
+				// member observes the whole batch's round-trip time,
+				// which is what a caller awaiting the batch sees.
+				end := i + *batch
+				if end > *total {
+					end = *total
+				}
+				reqs := make([]predictRequest, 0, end-i)
+				for j := i; j < end; j++ {
+					reqs = append(reqs, predictRequest{DType: *dtype, Pattern: patternFor(j), Size: *size})
 				}
 				t0 := time.Now()
-				errs[i] = predict(client, *addr, predictRequest{
-					DType: *dtype, Pattern: pat, Size: *size,
-				})
-				latencies[i] = time.Since(t0)
+				resp, err := predictBatch(client, *addr, reqs)
+				rt := time.Since(t0)
+				for j := i; j < end; j++ {
+					latencies[j] = rt
+					errs[j] = err
+				}
+				if err == nil {
+					for j, item := range resp.Items {
+						if item.Error != "" {
+							errs[i+j] = fmt.Errorf("item %d: %s", j, item.Error)
+						}
+					}
+					atomic.AddInt64(&coalesced, int64(resp.Coalesced))
+					atomic.AddInt64(&distinct, int64(resp.Distinct))
+				}
 			}
 		}()
 	}
-	for i := 0; i < *total; i++ {
+	step := 1
+	if *batch > 0 {
+		step = *batch
+	}
+	for i := 0; i < *total; i += step {
 		jobs <- i
 	}
 	close(jobs)
@@ -123,14 +185,21 @@ func main() {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	after := health(client, *addr)
 
-	fmt.Printf("loadgen: %d requests, %d in flight, %d patterns, size %d, dtype %s\n",
-		*total, *conc, len(pats), *size, *dtype)
+	mode := "single-shot /predict"
+	if *batch > 0 {
+		mode = fmt.Sprintf("/predict/batch × %d", *batch)
+	}
+	fmt.Printf("loadgen: %d requests (%s), %d in flight, %d patterns, size %d, dtype %s\n",
+		*total, mode, *conc, len(pats), *size, *dtype)
 	fmt.Printf("  elapsed     : %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput  : %.0f req/s\n", float64(*total)/elapsed.Seconds())
 	fmt.Printf("  latency p50 : %v\n", percentile(latencies, 0.50))
 	fmt.Printf("  latency p90 : %v\n", percentile(latencies, 0.90))
 	fmt.Printf("  latency p99 : %v\n", percentile(latencies, 0.99))
 	fmt.Printf("  failures    : %d\n", failed)
+	if *batch > 0 {
+		fmt.Printf("  coalesced   : %d requests onto %d distinct lookups\n", coalesced, distinct)
+	}
 
 	if before != nil && after != nil {
 		hits := after.Metrics["serve.cache.hits"] - before.Metrics["serve.cache.hits"]
@@ -177,6 +246,30 @@ func predict(client *http.Client, addr string, req predictRequest) error {
 		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
 	return nil
+}
+
+func predictBatch(client *http.Client, addr string, reqs []predictRequest) (*batchResponse, error) {
+	buf, err := json.Marshal(batchRequest{Requests: reqs})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(addr+"/predict/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	if len(br.Items) != len(reqs) {
+		return nil, fmt.Errorf("batch returned %d items for %d requests", len(br.Items), len(reqs))
+	}
+	return &br, nil
 }
 
 func health(client *http.Client, addr string) *healthResponse {

@@ -43,7 +43,7 @@ type EnergyCoeffs struct {
 	AccumPJPerToggle float64
 }
 
-// Dims returns a short human-readable summary of the coefficient set.
+// String returns a short human-readable summary of the coefficient set.
 func (e EnergyCoeffs) String() string {
 	return fmt.Sprintf("issue=%.2fpJ op=%.3f mult=%.4f prod=%.3f acc=%.3f",
 		e.IssuePJ, e.OperandPJPerToggle, e.MultPJPerPP, e.ProductPJPerToggle, e.AccumPJPerToggle)

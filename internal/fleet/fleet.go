@@ -1,0 +1,507 @@
+// Package fleet is a trace-driven, deterministic fleet simulator: it
+// schedules a stream of GEMM jobs (input pattern, datatype, size,
+// arrival time) onto N heterogeneous simulated devices, integrates
+// per-device power and temperature over time with the repository's
+// switched-capacitance power model, enforces an aggregate power cap
+// and per-device thermal throttling, and emits the telemetry a
+// datacenter operator provisions against: fleet watts, per-device
+// utilization, throttle events and job latency percentiles.
+//
+// The paper's core result — GEMM power depends strongly on input data
+// encoding — matters most at this scale: two fleets running the same
+// kernel shapes can differ by tens of kilowatts purely because of what
+// bits flow through them. The simulator takes per-job operating points
+// from an Oracle; the serving-backed oracles route every lookup
+// through POST /predict/batch, so one tick asking about thousands of
+// queued jobs costs one simulation per distinct (device, dtype,
+// pattern, size) key.
+//
+// Everything is deterministic: equal configs and traces produce
+// byte-identical reports. There is no wall clock, no map-order
+// dependence and no unseeded randomness anywhere in the loop.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+)
+
+// Config describes the simulated fleet and the integration controls.
+type Config struct {
+	// Devices lists the fleet instances; repeat a preset to model
+	// several boards of one model. Must be non-empty.
+	Devices []*device.Device
+	// Oracle supplies per-(device, job spec) operating points
+	// (nil = NewModelOracle, the offline simulation path).
+	Oracle Oracle
+	// PowerCapW is the aggregate fleet power budget in watts; when the
+	// sum of device demands exceeds it, every busy device's clocks are
+	// scaled down proportionally (reason "cap"). 0 disables the cap.
+	// A cap below the fleet's idle floor stalls all progress — jobs
+	// then time out at HorizonS.
+	PowerCapW float64
+	// AmbientC overrides every device's inlet temperature (rack hot
+	// aisle); 0 keeps each preset's own ambient. Raising it above a
+	// preset's calibration point is how fleet-level thermal throttling
+	// emerges even for configurations the device-local governor allows.
+	AmbientC float64
+	// TickS is the integration step (default 1 ms).
+	TickS float64
+	// SamplePeriodS is the telemetry sampling spacing (default 100 ms,
+	// the paper's DCGM period).
+	SamplePeriodS float64
+	// ThermalTauS is the first-order thermal time constant used to
+	// integrate device temperature toward its steady state
+	// (default 2 s).
+	ThermalTauS float64
+	// HorizonS aborts the simulation if jobs are still unfinished at
+	// this time (default 300 s).
+	HorizonS float64
+	// RecordSamples keeps the full telemetry timeline in the report
+	// (Report.Samples); off by default because long runs produce many
+	// samples.
+	RecordSamples bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Oracle == nil {
+		c.Oracle = NewModelOracle()
+	}
+	if c.TickS <= 0 {
+		c.TickS = 1e-3
+	}
+	if c.SamplePeriodS <= 0 {
+		c.SamplePeriodS = 0.1
+	}
+	if c.ThermalTauS <= 0 {
+		c.ThermalTauS = 2.0
+	}
+	if c.HorizonS <= 0 {
+		c.HorizonS = 300
+	}
+	return c
+}
+
+// resolveChunk bounds one Oracle.Resolve call so HTTP-backed oracles
+// stay inside the server's batch item limit.
+const resolveChunk = 2048
+
+// runJob is a scheduled job plus its resolved operating point.
+type runJob struct {
+	job      *Job
+	op       OperatingPoint
+	serviceS float64 // iterations × iter time at full clocks
+}
+
+// instance is the mutable state of one fleet device.
+type instance struct {
+	dev     *device.Device
+	id      string
+	ambient float64
+
+	queue   []*runJob
+	cur     *runJob
+	doneIts float64
+
+	tempC    float64
+	maxTempC float64
+	backlogS float64
+
+	busyS      float64
+	energyJ    float64
+	peakPowerW float64
+	capS       float64
+	thermalS   float64
+	jobsRun    int
+
+	// open throttle-event start times, negative when no event is open.
+	capEventStart     float64
+	thermalEventStart float64
+}
+
+// Run simulates the trace on the fleet and reduces it to a Report.
+// The trace is not mutated; equal inputs produce equal reports.
+func Run(ctx context.Context, cfg Config, trace *Trace) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("fleet: no devices")
+	}
+	for _, d := range cfg.Devices {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+	}
+	if trace == nil || len(trace.Jobs) == 0 {
+		return nil, fmt.Errorf("fleet: empty trace")
+	}
+	jobs := make([]Job, len(trace.Jobs))
+	copy(jobs, trace.Jobs)
+	t := &Trace{Jobs: jobs}
+	if err := t.normalize(); err != nil {
+		return nil, err
+	}
+
+	insts, models, err := buildInstances(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ops, err := resolveOperatingPoints(ctx, cfg.Oracle, t, models)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := &simState{cfg: cfg, insts: insts, ops: ops}
+	if err := sim.run(ctx, t); err != nil {
+		return nil, err
+	}
+	return sim.report(t), nil
+}
+
+// buildInstances expands the device list into per-instance state and
+// collects the distinct model names present in the fleet.
+func buildInstances(cfg Config) ([]*instance, []string, error) {
+	counts := map[string]int{}
+	var insts []*instance
+	var models []string
+	for _, d := range cfg.Devices {
+		if counts[d.Name] == 0 {
+			models = append(models, d.Name)
+		}
+		ambient := d.Thermal.AmbientC
+		if cfg.AmbientC > 0 {
+			ambient = cfg.AmbientC
+		}
+		if ambient >= d.Thermal.ThrottleTempC {
+			return nil, nil, fmt.Errorf("fleet: ambient %.1f°C is at or above %s's throttle point %.1f°C",
+				ambient, d.Name, d.Thermal.ThrottleTempC)
+		}
+		insts = append(insts, &instance{
+			dev:               d,
+			id:                fmt.Sprintf("%s#%d", d.Name, counts[d.Name]),
+			ambient:           ambient,
+			tempC:             ambient,
+			maxTempC:          ambient,
+			capEventStart:     -1,
+			thermalEventStart: -1,
+		})
+		counts[d.Name]++
+	}
+	return insts, models, nil
+}
+
+// resolveOperatingPoints asks the oracle for every (candidate model ×
+// job spec) pair the scheduler could need, in deterministic order and
+// bounded chunks. Duplicate keys across jobs are intentionally left in
+// the request stream — coalescing them is the oracle's job, and the
+// coalescing ratio is part of what a fleet run demonstrates.
+func resolveOperatingPoints(ctx context.Context, oracle Oracle, t *Trace, models []string) (map[OpKey]OperatingPoint, error) {
+	var keys []OpKey
+	seenPinned := map[string]bool{}
+	for _, m := range models {
+		seenPinned[m] = true
+	}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		if j.Device != "" {
+			if !seenPinned[j.Device] {
+				return nil, fmt.Errorf("fleet: job %s pinned to %q, which is not in the fleet", j.ID, j.Device)
+			}
+			keys = append(keys, OpKey{Device: j.Device, DType: j.dt.String(), Pattern: j.Pattern, Size: j.Size})
+			continue
+		}
+		for _, m := range models {
+			keys = append(keys, OpKey{Device: m, DType: j.dt.String(), Pattern: j.Pattern, Size: j.Size})
+		}
+	}
+
+	ops := make(map[OpKey]OperatingPoint)
+	for start := 0; start < len(keys); start += resolveChunk {
+		end := start + resolveChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		resolved, err := oracle.Resolve(ctx, chunk)
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range chunk {
+			ops[k] = resolved[i]
+		}
+	}
+	return ops, nil
+}
+
+// simState is the integration loop state.
+type simState struct {
+	cfg   Config
+	insts []*instance
+	ops   map[OpKey]OperatingPoint
+
+	nowS       float64
+	peakFleetW float64
+	fleetWSum  float64 // ∫ fleet power dt
+	events     []ThrottleEvent
+	samples    []Sample
+	nextSample float64
+
+	completed []JobResult
+	failed    []JobResult
+}
+
+func (s *simState) run(ctx context.Context, t *Trace) error {
+	dt := s.cfg.TickS
+	next := 0 // next unadmitted job index
+	powers := make([]float64, len(s.insts))
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Admit arrivals and hand each to the instance that would
+		// finish it earliest (current backlog plus the job's service
+		// time on that instance's model; ties break on fleet order).
+		for next < len(t.Jobs) && t.Jobs[next].ArrivalS <= s.nowS {
+			s.admit(&t.Jobs[next])
+			next++
+		}
+
+		// Start queued work on idle instances.
+		busyAny := false
+		for _, in := range s.insts {
+			if in.cur == nil && len(in.queue) > 0 {
+				in.cur = in.queue[0]
+				in.queue = in.queue[1:]
+				in.doneIts = 0
+			}
+			if in.cur != nil {
+				busyAny = true
+			}
+		}
+		if !busyAny && next >= len(t.Jobs) {
+			s.closeEvents()
+			break
+		}
+		if s.nowS >= s.cfg.HorizonS {
+			s.closeEvents()
+			s.abortUnfinished(t, next)
+			break
+		}
+
+		// Aggregate power-cap governor: demand is each instance's
+		// steady operating-point power; when the sum exceeds the cap,
+		// dynamic power (and with it, clocks) scales down uniformly
+		// across busy instances. Idle floors cannot be capped away.
+		var idleSum, dynSum float64
+		for _, in := range s.insts {
+			idleSum += in.dev.IdleWatts
+			if in.cur != nil {
+				dynSum += in.cur.op.PowerW - in.dev.IdleWatts
+			}
+		}
+		capScale := 1.0
+		if s.cfg.PowerCapW > 0 && dynSum > 0 && idleSum+dynSum > s.cfg.PowerCapW {
+			capScale = (s.cfg.PowerCapW - idleSum) / dynSum
+			if capScale < 0 {
+				capScale = 0
+			}
+		}
+
+		// Per-instance step: thermal governor, temperature
+		// integration, energy accounting and job progress.
+		var fleetW float64
+		for i, in := range s.insts {
+			p := s.stepInstance(in, capScale, dt)
+			powers[i] = p
+			fleetW += p
+		}
+		s.fleetWSum += fleetW * dt
+		if fleetW > s.peakFleetW {
+			s.peakFleetW = fleetW
+		}
+		if s.cfg.RecordSamples && s.nowS >= s.nextSample {
+			s.recordSample(fleetW, powers)
+			s.nextSample += s.cfg.SamplePeriodS
+		}
+		s.nowS += dt
+	}
+	return nil
+}
+
+// admit assigns one arriving job to the best instance.
+func (s *simState) admit(j *Job) {
+	bestIdx := -1
+	bestEta := math.Inf(1)
+	var bestOp OperatingPoint
+	for i, in := range s.insts {
+		if j.Device != "" && in.dev.Name != j.Device {
+			continue
+		}
+		op, ok := s.ops[OpKey{Device: in.dev.Name, DType: j.dt.String(), Pattern: j.Pattern, Size: j.Size}]
+		if !ok {
+			continue
+		}
+		eta := in.backlogS + float64(j.Iterations)*op.IterTimeS
+		if eta < bestEta {
+			bestEta, bestIdx, bestOp = eta, i, op
+		}
+	}
+	if bestIdx < 0 {
+		// Unreachable after resolveOperatingPoints validated pinning,
+		// but a dropped job must not vanish silently.
+		s.failed = append(s.failed, JobResult{ID: j.ID, Error: "no eligible device"})
+		return
+	}
+	in := s.insts[bestIdx]
+	rj := &runJob{job: j, op: bestOp, serviceS: float64(j.Iterations) * bestOp.IterTimeS}
+	in.queue = append(in.queue, rj)
+	in.backlogS += rj.serviceS
+}
+
+// stepInstance advances one device by dt under the global cap scale
+// and returns its power draw this tick.
+func (s *simState) stepInstance(in *instance, capScale, dt float64) float64 {
+	idle := in.dev.IdleWatts
+	power := idle
+	scale := 1.0
+	capped, thermal := false, false
+
+	if in.cur != nil {
+		dyn := in.cur.op.PowerW - idle
+		scale = capScale
+		capped = capScale < 1-1e-12
+		power = idle + scale*dyn
+
+		// Thermal governor: once the die reaches the throttle point,
+		// clocks scale so steady power holds the temperature there.
+		// The limit depends on the (possibly overridden) ambient, so a
+		// hot aisle throttles configurations the preset's 30 °C
+		// calibration point allowed.
+		if in.tempC >= in.dev.Thermal.ThrottleTempC-1e-9 {
+			pMax := (in.dev.Thermal.ThrottleTempC - in.ambient) / in.dev.Thermal.RThermalCPerW
+			if power > pMax {
+				thermal = true
+				ts := (pMax - idle) / (power - idle)
+				if ts < 0 {
+					ts = 0
+				}
+				scale *= ts
+				power = idle + scale*dyn
+			}
+		}
+	}
+
+	// First-order RC temperature integration toward the steady state
+	// implied by this tick's power.
+	steady := in.ambient + power*in.dev.Thermal.RThermalCPerW
+	in.tempC += dt * (steady - in.tempC) / s.cfg.ThermalTauS
+	if in.tempC > in.maxTempC {
+		in.maxTempC = in.tempC
+	}
+
+	in.energyJ += power * dt
+	if power > in.peakPowerW {
+		in.peakPowerW = power
+	}
+
+	if in.cur != nil {
+		in.busyS += dt
+		if capped {
+			in.capS += dt
+		}
+		if thermal {
+			in.thermalS += dt
+		}
+		s.updateEvent(in, &in.capEventStart, capped, "cap")
+		s.updateEvent(in, &in.thermalEventStart, thermal, "thermal")
+
+		progressed := dt * scale / in.cur.op.IterTimeS
+		in.doneIts += progressed
+		in.backlogS -= dt * scale
+		if in.doneIts >= float64(in.cur.job.Iterations) {
+			j := in.cur.job
+			s.completed = append(s.completed, JobResult{
+				ID:         j.ID,
+				Device:     in.id,
+				DType:      j.dt.String(),
+				Pattern:    j.Pattern,
+				Size:       j.Size,
+				ArrivalS:   j.ArrivalS,
+				FinishS:    s.nowS + dt,
+				LatencyS:   s.nowS + dt - j.ArrivalS,
+				ServiceS:   in.cur.serviceS,
+				PowerW:     in.cur.op.PowerW,
+				PredictedW: in.cur.op.PredictedW,
+			})
+			in.jobsRun++
+			in.cur = nil
+			in.doneIts = 0
+		}
+	} else {
+		s.updateEvent(in, &in.capEventStart, false, "cap")
+		s.updateEvent(in, &in.thermalEventStart, false, "thermal")
+	}
+	return power
+}
+
+// updateEvent opens or closes one (instance, reason) throttle event as
+// the condition toggles, coalescing contiguous throttled ticks.
+func (s *simState) updateEvent(in *instance, start *float64, active bool, reason string) {
+	switch {
+	case active && *start < 0:
+		*start = s.nowS
+	case !active && *start >= 0:
+		s.events = append(s.events, ThrottleEvent{Device: in.id, Reason: reason, StartS: *start, EndS: s.nowS})
+		*start = -1
+	}
+}
+
+// closeEvents finalizes any events still open at simulation end.
+func (s *simState) closeEvents() {
+	for _, in := range s.insts {
+		if in.capEventStart >= 0 {
+			s.events = append(s.events, ThrottleEvent{Device: in.id, Reason: "cap", StartS: in.capEventStart, EndS: s.nowS})
+			in.capEventStart = -1
+		}
+		if in.thermalEventStart >= 0 {
+			s.events = append(s.events, ThrottleEvent{Device: in.id, Reason: "thermal", StartS: in.thermalEventStart, EndS: s.nowS})
+			in.thermalEventStart = -1
+		}
+	}
+}
+
+// abortUnfinished records every job that had not completed when the
+// horizon hit: still-running, queued and not-yet-admitted jobs alike.
+func (s *simState) abortUnfinished(t *Trace, next int) {
+	for _, in := range s.insts {
+		if in.cur != nil {
+			s.failed = append(s.failed, JobResult{ID: in.cur.job.ID, Device: in.id, Error: "unfinished at horizon"})
+			in.cur = nil
+		}
+		for _, rj := range in.queue {
+			s.failed = append(s.failed, JobResult{ID: rj.job.ID, Device: in.id, Error: "queued at horizon"})
+		}
+		in.queue = nil
+	}
+	for ; next < len(t.Jobs); next++ {
+		s.failed = append(s.failed, JobResult{ID: t.Jobs[next].ID, Error: "not admitted before horizon"})
+	}
+}
+
+// recordSample appends one telemetry sample.
+func (s *simState) recordSample(fleetW float64, powers []float64) {
+	sm := Sample{
+		TimeS:       s.nowS,
+		FleetW:      fleetW,
+		DeviceW:     make([]float64, len(s.insts)),
+		DeviceTempC: make([]float64, len(s.insts)),
+	}
+	copy(sm.DeviceW, powers)
+	for i, in := range s.insts {
+		sm.DeviceTempC[i] = in.tempC
+	}
+	s.samples = append(s.samples, sm)
+}

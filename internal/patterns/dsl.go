@@ -35,6 +35,7 @@ type ParseError struct {
 	Msg   string
 }
 
+// Error formats the failure with the offending input and stage.
 func (e *ParseError) Error() string {
 	if e.Stage != "" {
 		return fmt.Sprintf("patterns: %s in stage %q of %q", e.Msg, e.Stage, e.Input)

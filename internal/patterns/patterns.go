@@ -145,8 +145,12 @@ func (p Pattern) RandomMSBs(n int) Pattern {
 type SortKind string
 
 const (
-	SortRows       SortKind = "rows"
-	SortCols       SortKind = "cols"
+	// SortRows orders whole rows by their leading value (Fig. 5a).
+	SortRows SortKind = "rows"
+	// SortCols orders whole columns analogously (Fig. 5c).
+	SortCols SortKind = "cols"
+	// SortWithinRows sorts the values inside each row independently
+	// (Fig. 5d).
 	SortWithinRows SortKind = "withinrows"
 )
 

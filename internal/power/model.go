@@ -45,8 +45,11 @@ func (b Breakdown) TotalW() float64 {
 type ThrottleReason string
 
 const (
-	NoThrottle      ThrottleReason = ""
-	ThrottleTDP     ThrottleReason = "tdp"
+	// NoThrottle means the kernel ran at full clocks.
+	NoThrottle ThrottleReason = ""
+	// ThrottleTDP means the board power limit capped sustained power.
+	ThrottleTDP ThrottleReason = "tdp"
+	// ThrottleThermal means the die temperature limit engaged first.
 	ThrottleThermal ThrottleReason = "thermal"
 )
 

@@ -1,0 +1,197 @@
+package serve
+
+// apidoc_test executes docs/API.md: every `<!-- roundtrip METHOD PATH
+// STATUS -->` marker (optionally followed by a fenced ```json request
+// body) is sent through the real handler and its status code is
+// asserted. Editing the docs to show a request the server no longer
+// accepts — or an error code it no longer returns — fails this test.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var roundtripMarker = regexp.MustCompile(`<!--\s*roundtrip\s+(GET|POST)\s+(\S+)\s+(\d{3})\s*-->`)
+
+// docExample is one executable request from the API document.
+type docExample struct {
+	line   int
+	method string
+	path   string
+	status int
+	body   string
+}
+
+// parseAPIDoc extracts the roundtrip examples from the markdown.
+func parseAPIDoc(t *testing.T, path string) []docExample {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v (the API doc must exist and ship with the repo)", path, err)
+	}
+	defer f.Close()
+
+	var examples []docExample
+	var pending *docExample
+	inBlock := false
+	var block strings.Builder
+
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		switch {
+		case inBlock:
+			if strings.HasPrefix(strings.TrimSpace(text), "```") {
+				inBlock = false
+				if pending != nil {
+					pending.body = block.String()
+					examples = append(examples, *pending)
+					pending = nil
+				}
+				continue
+			}
+			block.WriteString(text)
+			block.WriteString("\n")
+		case strings.HasPrefix(strings.TrimSpace(text), "```json"):
+			// A fenced json block binds to the marker immediately
+			// preceding it (blank lines allowed); unmarked blocks are
+			// illustrative responses and are skipped.
+			inBlock = true
+			block.Reset()
+		case roundtripMarker.MatchString(text):
+			// A marker with no following block (e.g. GET endpoints)
+			// flushes as body-less when the next marker or EOF arrives.
+			if pending != nil {
+				examples = append(examples, *pending)
+			}
+			m := roundtripMarker.FindStringSubmatch(text)
+			status, _ := strconv.Atoi(m[3])
+			pending = &docExample{line: line, method: m[1], path: m[2], status: status}
+		case strings.TrimSpace(text) != "" && pending != nil:
+			// Prose between a marker and its block is fine; another
+			// heading means the marker was body-less.
+			if strings.HasPrefix(text, "#") {
+				examples = append(examples, *pending)
+				pending = nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if pending != nil {
+		examples = append(examples, *pending)
+	}
+	return examples
+}
+
+func TestAPIDocExamplesRoundTrip(t *testing.T) {
+	examples := parseAPIDoc(t, "../../docs/API.md")
+	// The doc currently carries 12 executable examples; a rewrite that
+	// loses markers should have to say so here.
+	if len(examples) < 10 {
+		t.Fatalf("found only %d roundtrip examples in docs/API.md, want ≥ 10", len(examples))
+	}
+
+	s := New(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	covered := map[string]bool{}
+	for _, ex := range examples {
+		name := ex.method + " " + ex.path + " line " + strconv.Itoa(ex.line)
+		covered[ex.method+" "+ex.path] = true
+
+		var req *http.Request
+		var err error
+		if ex.method == http.MethodGet {
+			req, err = http.NewRequest(http.MethodGet, ts.URL+ex.path, nil)
+		} else {
+			if strings.TrimSpace(ex.body) == "" {
+				t.Errorf("%s: documented POST example has no body", name)
+				continue
+			}
+			if !json.Valid([]byte(ex.body)) {
+				t.Errorf("%s: documented body is not valid JSON:\n%s", name, ex.body)
+				continue
+			}
+			req, err = http.NewRequest(http.MethodPost, ts.URL+ex.path, bytes.NewReader([]byte(ex.body)))
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var payload map[string]any
+		decErr := json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+
+		if resp.StatusCode != ex.status {
+			t.Errorf("%s: documented status %d, handler returned %d (%v)", name, ex.status, resp.StatusCode, payload)
+			continue
+		}
+		if decErr != nil {
+			t.Errorf("%s: response is not JSON: %v", name, decErr)
+			continue
+		}
+		if ex.status >= 400 {
+			if msg, ok := payload["error"].(string); !ok || msg == "" {
+				t.Errorf("%s: documented error responses carry {\"error\": ...}, got %v", name, payload)
+			}
+			continue
+		}
+		// Spot-check the documented success shapes.
+		switch ex.path {
+		case "/predict":
+			for _, k := range []string{"predicted_w", "simulated_w", "pattern", "features"} {
+				if _, ok := payload[k]; !ok {
+					t.Errorf("%s: response missing documented field %q", name, k)
+				}
+			}
+		case "/predict/batch":
+			items, ok := payload["items"].([]any)
+			if !ok || len(items) == 0 {
+				t.Errorf("%s: response missing documented items", name)
+			}
+			for _, k := range []string{"distinct", "coalesced"} {
+				if _, ok := payload[k]; !ok {
+					t.Errorf("%s: response missing documented field %q", name, k)
+				}
+			}
+		case "/train":
+			for _, k := range []string{"weights_pj", "r2", "samples", "purged"} {
+				if _, ok := payload[k]; !ok {
+					t.Errorf("%s: response missing documented field %q", name, k)
+				}
+			}
+		case "/healthz":
+			for _, k := range []string{"status", "devices", "dtypes", "metrics"} {
+				if _, ok := payload[k]; !ok {
+					t.Errorf("%s: response missing documented field %q", name, k)
+				}
+			}
+		}
+	}
+
+	// Every endpoint must have at least one executable success example
+	// and the POST endpoints at least one documented failure.
+	for _, want := range []string{
+		"POST /predict", "POST /predict/batch", "POST /train", "GET /healthz",
+	} {
+		if !covered[want] {
+			t.Errorf("docs/API.md has no roundtrip example for %s", want)
+		}
+	}
+}

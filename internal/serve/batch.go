@@ -1,0 +1,135 @@
+package serve
+
+// Batched prediction: POST /predict/batch answers an ordered list of
+// PredictRequests as one unit, coalescing items that resolve to the
+// same (device, dtype, canonical pattern, size) key into a single
+// cache/pool lookup. This is the entry point fleet-scale callers use
+// (internal/fleet): a tick that needs power for thousands of queued
+// jobs costs one simulation per distinct key, not per job.
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/matrix"
+	"repro/internal/patterns"
+)
+
+// MaxBatchItems bounds one /predict/batch request. The limit exists
+// for the same reason MaxSize does: a batch buys at most MaxBatchItems
+// distinct simulations, never unbounded compute.
+const MaxBatchItems = 4096
+
+// BatchRequest is the /predict/batch payload: an ordered list of
+// prediction requests answered together. Items are independent — one
+// invalid item fails alone, not the batch.
+type BatchRequest struct {
+	Requests []PredictRequest `json:"requests"`
+}
+
+// BatchItem is one slot of a batch response. Exactly one of Response
+// and Error is set; Error carries the same message a single /predict
+// would have rejected the item with.
+type BatchItem struct {
+	Response *PredictResponse `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// BatchResponse mirrors the request order item by item and reports how
+// much work the batch actually bought.
+type BatchResponse struct {
+	// Items holds one entry per request, in request order.
+	Items []BatchItem `json:"items"`
+	// Distinct is the number of unique (device, dtype, canonical
+	// pattern, size) keys among the valid items — the number of
+	// cache/pool lookups the batch performed.
+	Distinct int `json:"distinct"`
+	// Coalesced counts valid items answered by sharing another item's
+	// lookup: len(valid items) - Distinct.
+	Coalesced int `json:"coalesced"`
+}
+
+// batchGroup is one distinct key's work unit: the resolved request
+// parts plus every request index that collapsed onto the key.
+type batchGroup struct {
+	dev     *device.Device
+	dt      matrix.DType
+	pat     patterns.Pattern
+	key     Key
+	indexes []int
+}
+
+// PredictBatch serves a batch of predictions, answering every request
+// that resolves to the same key with one shared lookup. Item order is
+// preserved; per-item validation failures are reported in-place and do
+// not fail sibling items. Distinct keys run concurrently through the
+// same sharded pool as single-shot predictions, so a batch also
+// coalesces against concurrent /predict traffic for the same keys.
+func (s *Server) PredictBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	if len(req.Requests) == 0 {
+		return nil, badRequestf("batch: empty request list")
+	}
+	if len(req.Requests) > MaxBatchItems {
+		return nil, badRequestf("batch: %d items exceeds limit %d", len(req.Requests), MaxBatchItems)
+	}
+	s.batches.Inc()
+	s.requests.Add(int64(len(req.Requests)))
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+
+	resp := &BatchResponse{Items: make([]BatchItem, len(req.Requests))}
+
+	// Group request indexes by resolved key. Iteration for execution
+	// uses the first-seen order slice, not the map, so behaviour is
+	// deterministic.
+	groups := make(map[Key]*batchGroup)
+	var order []*batchGroup
+	var valid int
+	for i, pr := range req.Requests {
+		dev, dt, pat, key, err := s.resolve(pr)
+		if err != nil {
+			s.failures.Inc()
+			resp.Items[i] = BatchItem{Error: err.Error()}
+			continue
+		}
+		valid++
+		g, ok := groups[key]
+		if !ok {
+			g = &batchGroup{dev: dev, dt: dt, pat: pat, key: key}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.indexes = append(g.indexes, i)
+	}
+	resp.Distinct = len(order)
+	resp.Coalesced = valid - len(order)
+	s.coalesced.Add(int64(resp.Coalesced))
+
+	// One lookup per distinct key, fanned out concurrently. The pool
+	// provides the backpressure; this loop only pays goroutine setup.
+	var wg sync.WaitGroup
+	for _, g := range order {
+		wg.Add(1)
+		go func(g *batchGroup) {
+			defer wg.Done()
+			r, err := s.predictKeyed(ctx, g.dev, g.dt, g.pat, g.key)
+			if err != nil {
+				for _, i := range g.indexes {
+					resp.Items[i] = BatchItem{Error: err.Error()}
+				}
+				return
+			}
+			for n, i := range g.indexes {
+				item := *r
+				// Items beyond a group's first did not pay for the
+				// lookup, whatever its outcome was; report them as
+				// served from shared work.
+				item.Cached = r.Cached || n > 0
+				resp.Items[i] = BatchItem{Response: &item}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return resp, nil
+}

@@ -1,8 +1,10 @@
 package serve
 
-// HTTP/JSON front of the Server: POST /predict, POST /train and
-// GET /healthz. cmd/powerserve mounts Handler() behind an http.Server;
-// httptest can mount it directly in tests.
+// HTTP/JSON front of the Server: POST /predict, POST /predict/batch,
+// POST /train and GET /healthz. cmd/powerserve mounts Handler() behind
+// an http.Server; httptest can mount it directly in tests. Endpoint
+// request/response shapes are documented with runnable examples in
+// docs/API.md (round-tripped through this handler by apidoc_test.go).
 
 import (
 	"encoding/json"
@@ -35,6 +37,18 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		resp, err := s.Predict(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !decodeJSONPost(w, r, &req) {
+			return
+		}
+		resp, err := s.PredictBatch(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return

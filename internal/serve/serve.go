@@ -166,6 +166,7 @@ type TrainResponse struct {
 // RequestError marks a client-side validation failure (HTTP 400).
 type RequestError struct{ msg string }
 
+// Error returns the validation failure message.
 func (e *RequestError) Error() string { return e.msg }
 
 func badRequestf(format string, args ...any) error {
@@ -189,6 +190,8 @@ type Server struct {
 	simulations *telemetry.Counter
 	requests    *telemetry.Counter
 	failures    *telemetry.Counter
+	batches     *telemetry.Counter
+	coalesced   *telemetry.Counter
 	queueDepth  *telemetry.Gauge
 	inflight    *telemetry.Gauge
 }
@@ -206,6 +209,8 @@ func New(cfg Config) *Server {
 		simulations: m.Counter("serve.simulations"),
 		requests:    m.Counter("serve.requests"),
 		failures:    m.Counter("serve.failures"),
+		batches:     m.Counter("serve.batch.requests"),
+		coalesced:   m.Counter("serve.batch.coalesced"),
 		queueDepth:  m.Gauge("serve.queue.depth"),
 		inflight:    m.Gauge("serve.inflight"),
 	}
@@ -273,7 +278,15 @@ func (s *Server) Predict(ctx context.Context, req PredictRequest) (*PredictRespo
 		s.failures.Inc()
 		return nil, err
 	}
+	return s.predictKeyed(ctx, dev, dt, pat, key)
+}
 
+// predictKeyed is the post-validation half of Predict: cache fast
+// path, lazy predictor resolution and the sharded simulation trip.
+// Predict and PredictBatch both funnel through it, so a batch item and
+// a single-shot request for the same key share cache entries, shard
+// serialization and metrics.
+func (s *Server) predictKeyed(ctx context.Context, dev *device.Device, dt matrix.DType, pat patterns.Pattern, key Key) (*PredictResponse, error) {
 	// Fast path: answer straight from the LRU without a pool trip. A
 	// response from a retrained-away predictor generation is treated
 	// as a miss and recomputed.
