@@ -13,6 +13,11 @@
 //	fleetsim -devices "A100-PCIe-40GB:4" -jobs 256 -seed 1 -cap 400
 //	fleetsim -devices "A100-PCIe-40GB:2,H100-SXM5-80GB:2" -trace jobs.json -format csv -samples
 //	fleetsim -serve http://localhost:8090 ...   # operating points via POST /predict/batch
+//	fleetsim -jobs 256 -seed 1 -dump-trace jobs.json   # record the synthetic run, replay with -trace
+//
+// -serve accepts a powerserve or a powerrouter base URL — the sharded
+// deployment speaks the same /predict/batch and returns byte-identical
+// answers.
 //
 // Without -serve, operating points come from the in-process model
 // oracle (one simulation per distinct (device, dtype, pattern, size)
@@ -49,6 +54,7 @@ func main() {
 		format      = flag.String("format", "json", "report format: json or csv (csv implies -samples)")
 		samples     = flag.Bool("samples", false, "record the full telemetry timeline in the report")
 		out         = flag.String("o", "", "write the report to this file (default stdout)")
+		dumpTrace   = flag.String("dump-trace", "", "write the executed trace (normalized) to this JSON file, replayable via -trace")
 	)
 	flag.Parse()
 
@@ -86,6 +92,20 @@ func main() {
 		}
 		trace, err = fleet.Synthetic(cfg)
 		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *dumpTrace != "" {
+		f, err := os.Create(*dumpTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,122 @@
+// Command powerrouter fronts a consistent-hash ring of powerserve
+// shards with the same five-endpoint HTTP API a single node serves
+// (internal/cluster over internal/serve.Handler): POST /predict routes
+// to the key's ring owner, POST /predict/batch is partitioned by owner
+// and fanned out/merged preserving item order and per-item errors,
+// POST /train broadcasts to the whole ring, GET /healthz aggregates
+// shard health and GET /metrics reports the router's cluster.* counters
+// next to ring-wide cache totals. Clients cannot tell a router from a
+// single node — sharded answers are byte-identical by construction.
+//
+// Usage:
+//
+//	powerserve -addr :8101 & powerserve -addr :8102 &
+//	powerrouter -addr :8090 -shard http://localhost:8101 -shard http://localhost:8102
+//	curl -s localhost:8090/predict -d '{"pattern": "gaussian(default)", "size": 128}'
+//
+// All routers fronting one shard set must agree on -shard order,
+// -vnodes and -hashseed, or they will disagree on key placement (the
+// answers would still be identical — only cache locality suffers).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// shardList collects repeated -shard flags.
+type shardList []string
+
+// String formats the accumulated list.
+func (s *shardList) String() string { return strings.Join(*s, ",") }
+
+// Set appends one -shard value.
+func (s *shardList) Set(v string) error {
+	v = strings.TrimRight(strings.TrimSpace(v), "/")
+	if v == "" {
+		return fmt.Errorf("empty shard URL")
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var shards shardList
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
+		hashseed = flag.Uint64("hashseed", 0, "ring placement seed (0 = built-in default; all routers must agree)")
+		maxSize  = flag.Int("maxsize", 512, "largest accepted GEMM dimension (must match the shards' -maxsize)")
+		cooldown = flag.Duration("cooldown", cluster.DefaultCooldown, "how long a down shard is skipped before retrying it")
+	)
+	flag.Var(&shards, "shard", "shard base URL (repeat once per shard, order-significant)")
+	flag.Parse()
+
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "powerrouter: at least one -shard is required")
+		os.Exit(2)
+	}
+
+	cfg := cluster.Config{
+		VirtualNodes: *vnodes,
+		Seed:         *hashseed,
+		MaxSize:      *maxSize,
+		Cooldown:     *cooldown,
+	}
+	for _, u := range shards {
+		cfg.Shards = append(cfg.Shards, cluster.Shard{
+			Name:    u,
+			Backend: cluster.NewHTTPBackend(u, nil),
+		})
+	}
+	client, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "powerrouter: %v\n", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.Handler(client),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute, // /train broadcasts take a while
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	log.Printf("powerrouter: listening on %s, %d shards, %d vnodes/shard", *addr, len(shards), *vnodes)
+	for i, u := range shards {
+		log.Printf("powerrouter: ring[%d] = %s", i, u)
+	}
+
+	select {
+	case sig := <-stop:
+		log.Printf("powerrouter: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("powerrouter: shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "powerrouter: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -11,11 +11,19 @@
 // (device, dtype) from a reduced experiment sweep, an LRU cache keyed
 // by (device, dtype, canonical pattern, size) that lets repeated
 // queries skip the GEMM-simulation hot path, and a sharded worker pool
-// sized by GOMAXPROCS. cmd/powerserve serves it over HTTP/JSON
-// (/predict, /predict/batch, /train, /healthz — see docs/API.md) and
-// examples/loadgen drives it with a mixed pattern workload in
-// single-shot or batched mode, reporting throughput, latency
-// percentiles and cache hit-rate.
+// sized by GOMAXPROCS. The package is layered transport-free core
+// first: serve.Core implements the Backend interface, serve.Server is
+// a thin HTTP adapter over it, and serve.Handler mounts any Backend
+// behind the five endpoints (/predict, /predict/batch, /train,
+// /healthz, /metrics — see docs/API.md). cmd/powerserve serves one
+// Core; internal/cluster shards the prediction keyspace across many
+// (deterministic consistent-hash ring, fan-out/fan-in batch routing,
+// shard failover) and cmd/powerrouter fronts such a ring with the
+// identical API — sharded answers are byte-identical to single-node
+// answers. examples/loadgen drives either topology with a mixed
+// pattern workload in single-shot or batched mode, reporting
+// throughput, latency percentiles and cache hit-rate (-shards N
+// measures ring-vs-single scaling in-process).
 //
 // internal/fleet scales the effect to datacenter operations: a
 // deterministic trace-driven simulator schedules GEMM job streams onto
@@ -68,6 +76,9 @@
 // CI (.github/workflows/ci.yml) gates gofmt, vet, doc-comment coverage
 // (cmd/doccheck), build (examples included), race tests, a bench smoke
 // pass whose JSON output is kept as a per-commit BENCH_*.json artifact
-// (cmd/benchdiff fails CI on a >25% figure-benchmark regression), and
-// a deterministic capped fleetsim smoke run uploaded as an artifact.
+// (cmd/benchdiff fails CI on a >25% regression in any figure, engine
+// or fleet benchmark), a deterministic capped fleetsim smoke run
+// (byte-identical repeat and recorded-trace replay) uploaded as an
+// artifact, and a sharded serving smoke that cmp's a fixed batch
+// replayed through a 2-shard powerrouter against a single powerserve.
 package repro

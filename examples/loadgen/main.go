@@ -1,4 +1,4 @@
-// Loadgen hammers a running powerserve instance with a mixed
+// Loadgen hammers a powerserve (or powerrouter) instance with a mixed
 // input-pattern workload at a fixed concurrency and reports
 // throughput, latency percentiles and the server's cache hit-rate —
 // the ROADMAP's "heavy traffic" scenario in miniature.
@@ -18,6 +18,15 @@
 //
 //	go run ./examples/loadgen -c 64 -n 8192            # single-shot
 //	go run ./examples/loadgen -c 64 -n 8192 -batch 32  # batched
+//
+// -shards N ignores -addr and measures scaling instead: the same
+// workload is replayed against one in-process serving instance and
+// then against a powerrouter-shaped consistent-hash ring of N
+// in-process shards (real HTTP on loopback in both topologies), and
+// the speedup is reported. Answers are byte-identical across the two
+// topologies by construction; only throughput differs:
+//
+//	go run ./examples/loadgen -shards 3 -c 64 -n 8192 -batch 32
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"strings"
@@ -35,7 +45,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/patterns"
+	"repro/internal/serve"
 )
 
 type predictRequest struct {
@@ -64,9 +76,35 @@ type healthResponse struct {
 	Metrics map[string]int64 `json:"metrics"`
 }
 
+// loadConfig is everything one measured run needs.
+type loadConfig struct {
+	addr   string
+	conc   int
+	total  int
+	size   int
+	dtype  string
+	pats   []string
+	unique bool
+	batch  int
+	client *http.Client
+}
+
+// loadResult is what one measured run produced.
+type loadResult struct {
+	elapsed             time.Duration
+	latencies           []time.Duration // sorted
+	failed              int
+	coalesced, distinct int64
+	before, after       *healthResponse
+}
+
+func (r *loadResult) throughput(total int) float64 {
+	return float64(total) / r.elapsed.Seconds()
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8090", "powerserve base URL")
+		addr     = flag.String("addr", "http://localhost:8090", "powerserve/powerrouter base URL")
 		conc     = flag.Int("c", 64, "concurrent requests in flight")
 		total    = flag.Int("n", 1024, "total requests")
 		size     = flag.Int("size", 128, "GEMM dimension per request")
@@ -74,6 +112,7 @@ func main() {
 		patsFlag = flag.String("patterns", "", "semicolon-separated pattern DSLs (default: a mixed set of 8); patterns contain commas, so ';' separates")
 		unique   = flag.Bool("unique", false, "make every request a distinct pattern (all cache misses)")
 		batch    = flag.Int("batch", 0, "group requests into /predict/batch bodies of this size (0 = single-shot /predict)")
+		shards   = flag.Int("shards", 0, "measure scaling: replay the workload against 1 in-process instance and an in-process ring of N shards (ignores -addr)")
 	)
 	flag.Parse()
 
@@ -99,38 +138,129 @@ func main() {
 			MaxIdleConnsPerHost: *conc,
 		},
 	}
-
-	// One warm-up request pays the lazy predictor training so the
-	// measured phase sees steady-state serving latency.
-	if err := predict(client, *addr, predictRequest{
-		DType: *dtype, Pattern: pats[0], Size: *size,
-	}); err != nil {
-		log.Fatalf("loadgen: warm-up request failed: %v", err)
+	cfg := loadConfig{
+		conc:   *conc,
+		total:  *total,
+		size:   *size,
+		dtype:  *dtype,
+		pats:   pats,
+		unique: *unique,
+		batch:  *batch,
+		client: client,
 	}
-	before := health(client, *addr)
+
+	if *shards > 0 {
+		runScalingComparison(cfg, *shards)
+		return
+	}
+
+	cfg.addr = *addr
+	res := runLoad(cfg)
+	report(cfg, res)
+	if res.failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runScalingComparison replays one workload against a single
+// in-process serving instance and against a router over an in-process
+// ring, then reports the throughput ratio. Both topologies speak real
+// HTTP on loopback, both are warmed identically, and both return
+// byte-identical answers — the ratio isolates what sharding buys.
+func runScalingComparison(cfg loadConfig, shards int) {
+	fmt.Printf("loadgen: scaling comparison, 1 instance vs %d-shard ring\n\n", shards)
+
+	single, closeSingle := startInstanceTopology()
+	cfg.addr = single
+	fmt.Println("— single instance —")
+	singleRes := runLoad(cfg)
+	report(cfg, singleRes)
+	closeSingle()
+
+	router, closeRing := startRingTopology(shards)
+	cfg.addr = router
+	fmt.Printf("\n— %d-shard ring behind router —\n", shards)
+	ringRes := runLoad(cfg)
+	report(cfg, ringRes)
+	closeRing()
+
+	speedup := ringRes.throughput(cfg.total) / singleRes.throughput(cfg.total)
+	fmt.Printf("\nscaling: %d shards served %.0f req/s vs %.0f req/s single — %.2fx\n",
+		shards, ringRes.throughput(cfg.total), singleRes.throughput(cfg.total), speedup)
+	if singleRes.failed+ringRes.failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// startInstanceTopology serves one Core over loopback HTTP.
+func startInstanceTopology() (string, func()) {
+	core := serve.NewCore(serve.Config{})
+	srv := httptest.NewServer(serve.Handler(core))
+	return srv.URL, func() { srv.Close(); core.Close() }
+}
+
+// startRingTopology serves n Cores behind a consistent-hash router,
+// all over loopback HTTP — the same wire topology as n powerserve
+// processes behind cmd/powerrouter.
+func startRingTopology(n int) (string, func()) {
+	var closers []func()
+	ringCfg := cluster.Config{}
+	for i := 0; i < n; i++ {
+		core := serve.NewCore(serve.Config{})
+		srv := httptest.NewServer(serve.Handler(core))
+		closers = append(closers, srv.Close, core.Close)
+		ringCfg.Shards = append(ringCfg.Shards, cluster.Shard{
+			Name:    srv.URL,
+			Backend: cluster.NewHTTPBackend(srv.URL, nil),
+		})
+	}
+	client, err := cluster.New(ringCfg)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	router := httptest.NewServer(serve.Handler(client))
+	closers = append(closers, router.Close, client.Close)
+	return router.URL, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}
+
+// runLoad warms the target (one request per workload pattern, paying
+// lazy predictor training and first-key simulation outside the
+// measured window) and then replays the measured phase.
+func runLoad(cfg loadConfig) *loadResult {
+	for _, p := range cfg.pats {
+		if err := predict(cfg.client, cfg.addr, predictRequest{
+			DType: cfg.dtype, Pattern: p, Size: cfg.size,
+		}); err != nil {
+			log.Fatalf("loadgen: warm-up request failed: %v", err)
+		}
+	}
+	res := &loadResult{before: health(cfg.client, cfg.addr)}
 
 	patternFor := func(i int) string {
-		if *unique {
+		if cfg.unique {
 			return fmt.Sprintf("constant(%d)", i)
 		}
-		return pats[i%len(pats)]
+		return cfg.pats[i%len(cfg.pats)]
 	}
 
 	jobs := make(chan int)
-	latencies := make([]time.Duration, *total)
-	errs := make([]error, *total)
-	var coalesced, distinct int64
+	latencies := make([]time.Duration, cfg.total)
+	errs := make([]error, cfg.total)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < *conc; w++ {
+	for w := 0; w < cfg.conc; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if *batch <= 0 {
+				if cfg.batch <= 0 {
 					t0 := time.Now()
-					errs[i] = predict(client, *addr, predictRequest{
-						DType: *dtype, Pattern: patternFor(i), Size: *size,
+					errs[i] = predict(cfg.client, cfg.addr, predictRequest{
+						DType: cfg.dtype, Pattern: patternFor(i), Size: cfg.size,
 					})
 					latencies[i] = time.Since(t0)
 					continue
@@ -138,16 +268,16 @@ func main() {
 				// i is the first request index of a batch; every
 				// member observes the whole batch's round-trip time,
 				// which is what a caller awaiting the batch sees.
-				end := i + *batch
-				if end > *total {
-					end = *total
+				end := i + cfg.batch
+				if end > cfg.total {
+					end = cfg.total
 				}
 				reqs := make([]predictRequest, 0, end-i)
 				for j := i; j < end; j++ {
-					reqs = append(reqs, predictRequest{DType: *dtype, Pattern: patternFor(j), Size: *size})
+					reqs = append(reqs, predictRequest{DType: cfg.dtype, Pattern: patternFor(j), Size: cfg.size})
 				}
 				t0 := time.Now()
-				resp, err := predictBatch(client, *addr, reqs)
+				resp, err := predictBatch(cfg.client, cfg.addr, reqs)
 				rt := time.Since(t0)
 				for j := i; j < end; j++ {
 					latencies[j] = rt
@@ -159,60 +289,61 @@ func main() {
 							errs[i+j] = fmt.Errorf("item %d: %s", j, item.Error)
 						}
 					}
-					atomic.AddInt64(&coalesced, int64(resp.Coalesced))
-					atomic.AddInt64(&distinct, int64(resp.Distinct))
+					atomic.AddInt64(&res.coalesced, int64(resp.Coalesced))
+					atomic.AddInt64(&res.distinct, int64(resp.Distinct))
 				}
 			}
 		}()
 	}
 	step := 1
-	if *batch > 0 {
-		step = *batch
+	if cfg.batch > 0 {
+		step = cfg.batch
 	}
-	for i := 0; i < *total; i += step {
+	for i := 0; i < cfg.total; i += step {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	elapsed := time.Since(start)
+	res.elapsed = time.Since(start)
 
-	var failed int
 	for _, err := range errs {
 		if err != nil {
-			failed++
+			res.failed++
 		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	after := health(client, *addr)
+	res.latencies = latencies
+	res.after = health(cfg.client, cfg.addr)
+	return res
+}
 
+// report prints one measured run.
+func report(cfg loadConfig, res *loadResult) {
 	mode := "single-shot /predict"
-	if *batch > 0 {
-		mode = fmt.Sprintf("/predict/batch × %d", *batch)
+	if cfg.batch > 0 {
+		mode = fmt.Sprintf("/predict/batch × %d", cfg.batch)
 	}
 	fmt.Printf("loadgen: %d requests (%s), %d in flight, %d patterns, size %d, dtype %s\n",
-		*total, mode, *conc, len(pats), *size, *dtype)
-	fmt.Printf("  elapsed     : %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("  throughput  : %.0f req/s\n", float64(*total)/elapsed.Seconds())
-	fmt.Printf("  latency p50 : %v\n", percentile(latencies, 0.50))
-	fmt.Printf("  latency p90 : %v\n", percentile(latencies, 0.90))
-	fmt.Printf("  latency p99 : %v\n", percentile(latencies, 0.99))
-	fmt.Printf("  failures    : %d\n", failed)
-	if *batch > 0 {
-		fmt.Printf("  coalesced   : %d requests onto %d distinct lookups\n", coalesced, distinct)
+		cfg.total, mode, cfg.conc, len(cfg.pats), cfg.size, cfg.dtype)
+	fmt.Printf("  elapsed     : %v\n", res.elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput  : %.0f req/s\n", res.throughput(cfg.total))
+	fmt.Printf("  latency p50 : %v\n", percentile(res.latencies, 0.50))
+	fmt.Printf("  latency p90 : %v\n", percentile(res.latencies, 0.90))
+	fmt.Printf("  latency p99 : %v\n", percentile(res.latencies, 0.99))
+	fmt.Printf("  failures    : %d\n", res.failed)
+	if cfg.batch > 0 {
+		fmt.Printf("  coalesced   : %d requests onto %d distinct lookups\n", res.coalesced, res.distinct)
 	}
 
-	if before != nil && after != nil {
-		hits := after.Metrics["serve.cache.hits"] - before.Metrics["serve.cache.hits"]
-		misses := after.Metrics["serve.cache.misses"] - before.Metrics["serve.cache.misses"]
+	if res.before != nil && res.after != nil {
+		hits := res.after.Metrics["serve.cache.hits"] - res.before.Metrics["serve.cache.hits"]
+		misses := res.after.Metrics["serve.cache.misses"] - res.before.Metrics["serve.cache.misses"]
 		if hits+misses > 0 {
 			fmt.Printf("  cache hits  : %d/%d (%.1f%%)\n",
 				hits, hits+misses, 100*float64(hits)/float64(hits+misses))
 		}
-		fmt.Printf("  simulations : %d\n", after.Metrics["serve.simulations"]-before.Metrics["serve.simulations"])
-		fmt.Printf("  queue depth : max %d\n", after.Metrics["serve.queue.depth.max"])
-	}
-	if failed > 0 {
-		os.Exit(1)
+		fmt.Printf("  simulations : %d\n", res.after.Metrics["serve.simulations"]-res.before.Metrics["serve.simulations"])
+		fmt.Printf("  queue depth : max %d\n", res.after.Metrics["serve.queue.depth.max"])
 	}
 }
 

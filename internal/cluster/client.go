@@ -1,0 +1,532 @@
+package cluster
+
+// Client: the fan-out/fan-in front of a shard ring. It implements
+// serve.Backend, so serve.Handler can mount it (cmd/powerrouter) and
+// internal/fleet's oracles can point at it without knowing they talk
+// to a cluster.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// DefaultCooldown is how long a shard stays marked down before the
+// client half-opens it with a live request again.
+const DefaultCooldown = 5 * time.Second
+
+// Shard names one ring member and the backend that reaches it.
+type Shard struct {
+	// Name identifies the shard in health reports and errors (the base
+	// URL for HTTP shards).
+	Name string
+	// Backend serves the shard's keys: an HTTPBackend for a remote
+	// powerserve, or a *serve.Core for an in-process ring.
+	Backend serve.Backend
+}
+
+// Config parameterizes a Client.
+type Config struct {
+	// Shards lists the ring members in placement order. Order matters:
+	// the ring hashes shard indexes, so two routers must list the same
+	// shards in the same order to agree on placement.
+	Shards []Shard
+	// VirtualNodes is the per-shard ring point count
+	// (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// Seed is the ring placement seed (0 = DefaultSeed).
+	Seed uint64
+	// MaxSize is the validation bound applied before routing; it must
+	// match the shards' own -maxsize so a request the router forwards
+	// is never rejected downstream (0 = the serve default, 512).
+	MaxSize int
+	// Cooldown is how long a down shard is skipped before the client
+	// retries it (0 = DefaultCooldown, negative = never retry).
+	Cooldown time.Duration
+}
+
+// Client routes requests across the shard ring. All methods are safe
+// for concurrent use.
+type Client struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shardState
+
+	metrics     *telemetry.MetricSet
+	requests    *telemetry.Counter
+	batches     *telemetry.Counter
+	items       *telemetry.Counter
+	subbatches  *telemetry.Counter
+	reroutes    *telemetry.Counter
+	shardErrors *telemetry.Counter
+	failures    *telemetry.Counter
+	downGauge   *telemetry.Gauge
+}
+
+// shardState tracks one ring member's reachability.
+type shardState struct {
+	name    string
+	backend serve.Backend
+
+	mu        sync.Mutex
+	down      bool
+	downSince time.Time
+}
+
+// New builds a client over the configured shards.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	m := telemetry.NewMetricSet()
+	c := &Client{
+		cfg:         cfg,
+		ring:        NewRing(len(cfg.Shards), cfg.VirtualNodes, cfg.Seed),
+		shards:      make([]*shardState, len(cfg.Shards)),
+		metrics:     m,
+		requests:    m.Counter("cluster.requests"),
+		batches:     m.Counter("cluster.batch.requests"),
+		items:       m.Counter("cluster.batch.items"),
+		subbatches:  m.Counter("cluster.batch.subbatches"),
+		reroutes:    m.Counter("cluster.reroutes"),
+		shardErrors: m.Counter("cluster.shard.errors"),
+		failures:    m.Counter("cluster.failures"),
+		downGauge:   m.Gauge("cluster.shards.down"),
+	}
+	for i, s := range cfg.Shards {
+		if s.Backend == nil {
+			return nil, fmt.Errorf("cluster: shard %d (%q) has no backend", i, s.Name)
+		}
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("shard%d", i)
+		}
+		c.shards[i] = &shardState{name: name, backend: s.Backend}
+	}
+	return c, nil
+}
+
+// Ring exposes the client's placement for tests and cmd/powerrouter's
+// startup log.
+func (c *Client) Ring() *Ring { return c.ring }
+
+// available reports whether the shard should receive traffic: up, or
+// down long enough that a half-open probe is due. The probe is
+// single-admission: the caller that observes the elapsed cooldown
+// advances the deadline, so a concurrent wave against a still-dead
+// shard sends one probe per cooldown period, not one per request.
+func (s *shardState) available(cooldown time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.down {
+		return true
+	}
+	if cooldown >= 0 && time.Since(s.downSince) >= cooldown {
+		s.downSince = time.Now()
+		return true
+	}
+	return false
+}
+
+// up reports the shard's state without the half-open side effect of
+// available — for read paths that must not consume a probe admission.
+func (s *shardState) up() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.down
+}
+
+// markDown records a transport failure; returns true on the
+// transition from up to down.
+func (s *shardState) markDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wasUp := !s.down
+	s.down = true
+	s.downSince = time.Now()
+	return wasUp
+}
+
+// markUp records a successful round trip; returns true on the
+// transition from down to up.
+func (s *shardState) markUp() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wasDown := s.down
+	s.down = false
+	return wasDown
+}
+
+// noteDown marks the shard down after a transport error, maintaining
+// the shared gauge and counters.
+func (c *Client) noteDown(s *shardState) {
+	c.shardErrors.Inc()
+	if s.markDown() {
+		c.downGauge.Inc()
+	}
+}
+
+// noteUp clears a shard's down state after a successful call.
+func (c *Client) noteUp(s *shardState) {
+	if s.markUp() {
+		c.downGauge.Dec()
+	}
+}
+
+// Predict routes one prediction to the key's owner, walking the ring's
+// preference sequence past down shards. Only transport failures
+// re-route: an in-band rejection is deterministic and would be
+// identical on every shard.
+func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.PredictResponse, error) {
+	c.requests.Inc()
+	res, err := serve.ResolveRequest(req, c.cfg.MaxSize)
+	if err != nil {
+		c.failures.Inc()
+		return nil, err
+	}
+	seq := c.ring.Sequence(res.Key.RouteString())
+	var lastTransport error
+	for hop, idx := range seq {
+		s := c.shards[idx]
+		if !s.available(c.cfg.Cooldown) {
+			continue
+		}
+		if hop > 0 {
+			c.reroutes.Inc()
+		}
+		resp, err := s.backend.Predict(ctx, req)
+		if err == nil {
+			c.noteUp(s)
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if isTransport(err) {
+			c.noteDown(s)
+			lastTransport = err
+			continue
+		}
+		// An in-band answer (validation rejection, simulation failure):
+		// the shard is alive and every shard would say the same.
+		c.noteUp(s)
+		c.failures.Inc()
+		return nil, err
+	}
+	c.failures.Inc()
+	return nil, noShardError(lastTransport)
+}
+
+// pendingItem is one not-yet-answered batch slot during fan-out.
+type pendingItem struct {
+	idx int
+	seq []int // ring preference order for the item's key
+	hop int   // next position in seq to try
+}
+
+// PredictBatch partitions the batch by ring owner, fans the
+// sub-batches out concurrently and merges the shard responses back
+// into request order. Per-item semantics are exactly a single node's:
+// invalid items fail alone with identical wording (the router and the
+// shards share one resolver), duplicates of one key land in one
+// sub-batch so coalescing accounting is preserved, and Distinct /
+// Coalesced are the sums over sub-batches — equal to the single-node
+// counts because the keyspace partition is exact. When a sub-batch
+// fails in transport its items re-route to each key's next preferred
+// shard; items with no reachable shard left fail alone.
+func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*serve.BatchResponse, error) {
+	if len(req.Requests) == 0 {
+		c.failures.Inc()
+		return nil, serve.BadRequestf("batch: empty request list")
+	}
+	if len(req.Requests) > serve.MaxBatchItems {
+		c.failures.Inc()
+		return nil, serve.BadRequestf("batch: %d items exceeds limit %d", len(req.Requests), serve.MaxBatchItems)
+	}
+	c.batches.Inc()
+	c.items.Add(int64(len(req.Requests)))
+
+	resp := &serve.BatchResponse{Items: make([]serve.BatchItem, len(req.Requests))}
+	var pending []*pendingItem
+	for i, pr := range req.Requests {
+		res, err := serve.ResolveRequest(pr, c.cfg.MaxSize)
+		if err != nil {
+			c.failures.Inc()
+			resp.Items[i] = serve.BatchItem{Error: err.Error()}
+			continue
+		}
+		pending = append(pending, &pendingItem{idx: i, seq: c.ring.Sequence(res.Key.RouteString())})
+	}
+
+	var mu sync.Mutex // guards resp.Distinct/Coalesced merges
+	for len(pending) > 0 {
+		// Snapshot availability once per round: available() admits at
+		// most one half-open probe per cooldown, and a per-item check
+		// could hand the probe admission to one duplicate of a key
+		// while its siblings skip ahead — splitting a key group across
+		// sub-batches and skewing the coalescing accounting.
+		alive := make([]bool, len(c.shards))
+		for i, s := range c.shards {
+			alive[i] = s.available(c.cfg.Cooldown)
+		}
+		// Route every pending item to the first available shard in its
+		// preference sequence; items that have run out of shards fail.
+		groups := make(map[int][]*pendingItem)
+		var shardOrder []int
+		for _, p := range pending {
+			target := -1
+			for p.hop < len(p.seq) {
+				if alive[p.seq[p.hop]] {
+					target = p.seq[p.hop]
+					break
+				}
+				p.hop++
+			}
+			if target < 0 {
+				c.failures.Inc()
+				resp.Items[p.idx] = serve.BatchItem{Error: noShardError(nil).Error()}
+				continue
+			}
+			if _, ok := groups[target]; !ok {
+				shardOrder = append(shardOrder, target)
+			}
+			groups[target] = append(groups[target], p)
+		}
+		if len(shardOrder) == 0 {
+			break
+		}
+
+		// Fan out one sub-batch per shard; collect the items each
+		// transport failure sends around the ring for the next round.
+		requeue := make([][]*pendingItem, len(shardOrder))
+		var wg sync.WaitGroup
+		for gi, shardIdx := range shardOrder {
+			wg.Add(1)
+			go func(gi, shardIdx int, members []*pendingItem) {
+				defer wg.Done()
+				s := c.shards[shardIdx]
+				c.subbatches.Inc()
+				sub := serve.BatchRequest{Requests: make([]serve.PredictRequest, len(members))}
+				for i, p := range members {
+					sub.Requests[i] = req.Requests[p.idx]
+				}
+				sr, err := s.backend.PredictBatch(ctx, sub)
+				if err == nil && len(sr.Items) != len(members) {
+					err = &TransportError{
+						Shard: s.name,
+						Err:   fmt.Errorf("batch returned %d items for %d requests", len(sr.Items), len(members)),
+					}
+				}
+				if err == nil {
+					c.noteUp(s)
+					for i, p := range members {
+						resp.Items[p.idx] = sr.Items[i]
+					}
+					mu.Lock()
+					resp.Distinct += sr.Distinct
+					resp.Coalesced += sr.Coalesced
+					mu.Unlock()
+					return
+				}
+				if ctx.Err() != nil {
+					// Caller cancellation: fail the items in-band, the
+					// way a single node's pool reports cancelled
+					// groups, and do not blame the shard.
+					for _, p := range members {
+						resp.Items[p.idx] = serve.BatchItem{Error: err.Error()}
+					}
+					return
+				}
+				if isTransport(err) {
+					c.noteDown(s)
+					c.reroutes.Inc()
+					for _, p := range members {
+						p.hop++
+					}
+					requeue[gi] = members
+					return
+				}
+				// In-band failure of the whole sub-batch (e.g. a shard
+				// 500): deterministic, so report it per item rather
+				// than re-routing a computation that would fail
+				// identically elsewhere.
+				c.noteUp(s)
+				for _, p := range members {
+					resp.Items[p.idx] = serve.BatchItem{Error: err.Error()}
+				}
+			}(gi, shardIdx, groups[shardIdx])
+		}
+		wg.Wait()
+
+		pending = pending[:0]
+		for _, members := range requeue {
+			pending = append(pending, members...)
+		}
+		// Keep re-routed items in original request order so a shard
+		// sees first occurrences of a key in the same relative order a
+		// single node would.
+		sort.Slice(pending, func(a, b int) bool { return pending[a].idx < pending[b].idx })
+	}
+	return resp, nil
+}
+
+// Train broadcasts the retrain to every shard: the keyspace for one
+// (device, dtype) spans the whole ring (patterns and sizes hash
+// everywhere), so every shard must swap in the new model. The merged
+// response reports the first shard's fit (all shards train the same
+// deterministic sweep, so the weights are identical) with Purged
+// summed across the ring. Any shard failure fails the call — a
+// half-trained ring would serve two models for one keyspace.
+func (c *Client) Train(ctx context.Context, req serve.TrainRequest) (*serve.TrainResponse, error) {
+	c.requests.Inc()
+	type result struct {
+		resp *serve.TrainResponse
+		err  error
+	}
+	results := make([]result, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			resp, err := s.backend.Train(ctx, req)
+			if err == nil {
+				c.noteUp(s)
+			} else if ctx.Err() == nil && isTransport(err) {
+				c.noteDown(s)
+			}
+			results[i] = result{resp: resp, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+
+	var merged *serve.TrainResponse
+	purged := 0
+	for i, r := range results {
+		if r.err != nil {
+			c.failures.Inc()
+			if isTransport(r.err) {
+				return nil, fmt.Errorf("cluster: train on shard %s: %w", c.shards[i].name, r.err)
+			}
+			// An in-band rejection (bad corpus, deterministic sweep
+			// failure) is identical on every shard; report it exactly
+			// as a single node would.
+			return nil, r.err
+		}
+		purged += r.resp.Purged
+		if merged == nil {
+			merged = r.resp
+		}
+	}
+	merged.Purged = purged
+	return merged, nil
+}
+
+// Health polls every shard and aggregates: status "ok" when the whole
+// ring answered, "degraded" when some shards are down, "down" when
+// none answered. Devices and dtypes come from the first healthy shard
+// (the vocabulary is identical everywhere); CacheLen is the ring-wide
+// total.
+func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
+	healths := make([]*serve.HealthResponse, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			h, err := s.backend.Health(ctx)
+			if err != nil {
+				if ctx.Err() == nil && isTransport(err) {
+					c.noteDown(s)
+				}
+				return
+			}
+			c.noteUp(s)
+			healths[i] = h
+		}(i, s)
+	}
+	wg.Wait()
+
+	// The health fan-out already carried every reachable shard's
+	// metrics snapshot; fold those in directly instead of paying a
+	// second round of /metrics fetches through Metrics().
+	metrics := c.metrics.Snapshot()
+	out := &serve.HealthResponse{
+		Status:  "down",
+		Metrics: metrics,
+		Shards:  make([]serve.ShardHealth, len(c.shards)),
+	}
+	up := 0
+	for i, h := range healths {
+		sh := serve.ShardHealth{Name: c.shards[i].name, Status: "down"}
+		if h != nil {
+			up++
+			sh.Status = h.Status
+			sh.CacheLen = h.CacheLen
+			out.CacheLen += h.CacheLen
+			if out.Devices == nil {
+				out.Devices = h.Devices
+				out.DTypes = h.DTypes
+			}
+			for k, v := range h.Metrics {
+				if strings.HasPrefix(k, "serve.") {
+					metrics[k] += v
+				}
+			}
+		}
+		out.Shards[i] = sh
+	}
+	switch {
+	case up == len(c.shards):
+		out.Status = "ok"
+	case up > 0:
+		out.Status = "degraded"
+	}
+	return out, nil
+}
+
+// Metrics snapshots the router's own cluster.* counters and folds in
+// the reachable shards' serve.* counters (summed across the ring), so
+// a router /metrics shows both routing behaviour and ring-wide cache
+// effectiveness.
+func (c *Client) Metrics() map[string]int64 {
+	out := c.metrics.Snapshot()
+	for _, s := range c.shards {
+		if !s.up() {
+			continue
+		}
+		for k, v := range s.backend.Metrics() {
+			if strings.HasPrefix(k, "serve.") {
+				out[k] += v
+			}
+		}
+	}
+	return out
+}
+
+// Close closes every shard backend.
+func (c *Client) Close() {
+	for _, s := range c.shards {
+		s.backend.Close()
+	}
+}
+
+// noShardError is the per-item/request failure when the ring has no
+// reachable owner left for a key.
+func noShardError(last error) error {
+	if last != nil {
+		return fmt.Errorf("cluster: no shard available: %w", last)
+	}
+	return fmt.Errorf("cluster: no shard available")
+}
+
+var _ serve.Backend = (*Client)(nil)

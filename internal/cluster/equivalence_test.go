@@ -1,0 +1,174 @@
+package cluster
+
+// The tentpole guarantee: a sharded deployment is indistinguishable
+// from a single node on the wire. The same request stream is replayed
+// from cold against a single powerserve-shaped node and against
+// routers over 1-shard, 3-shard and 3-shard-with-one-down rings, and
+// every response body must be byte-identical — payload floats, item
+// order, per-item errors, distinct/coalesced accounting, cached
+// flags, everything.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// streamStep is one request of the replayed stream.
+type streamStep struct {
+	method, path, body string
+}
+
+// equivalenceStream mixes single predicts, batches with duplicates and
+// equivalent spellings, invalid items, repeats (cache hits) and
+// request-level errors.
+func equivalenceStream() []streamStep {
+	batch := `{"requests": [
+		{"dtype": "FP16", "pattern": "constant(1)", "size": 32},
+		{"dtype": "FP16", "pattern": "constant(2)", "size": 32},
+		{"dtype": "FP16", "pattern": "constant( 1 )", "size": 32},
+		{"dtype": "FP16", "pattern": "gaussian(default)", "size": 48},
+		{"device": "TPU-v5", "size": 32},
+		{"dtype": "FP16", "pattern": "frobnicate(", "size": 32},
+		{"dtype": "FP16", "pattern": "constant(3)", "size": 24},
+		{"dtype": "FP16", "pattern": "constant(1)", "size": 4}
+	]}`
+	return []streamStep{
+		{"POST", "/predict", `{"dtype": "FP16", "pattern": "constant(5)", "size": 32}`},
+		{"POST", "/predict/batch", batch},
+		{"POST", "/predict", `{"dtype": "FP16", "pattern": "constant(5)", "size": 32}`}, // now cached
+		{"POST", "/predict/batch", batch},                                               // now all cached
+		{"POST", "/predict", `{"dtype": "FP16", "pattern": "zorp(", "size": 32}`},       // 400
+		{"POST", "/predict/batch", `{"requests": []}`},                                  // 400
+	}
+}
+
+// replay runs the stream against a base URL and returns each raw
+// response body.
+func replay(t *testing.T, baseURL string, stream []streamStep) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(stream))
+	for i, step := range stream {
+		req, err := http.NewRequest(step.method, baseURL+step.path, strings.NewReader(step.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		out[i] = body
+	}
+	return out
+}
+
+// newShardServers starts n cold single-node HTTP shards.
+func newShardServers(t *testing.T, n int) []*httptest.Server {
+	t.Helper()
+	cores := newCores(t, n)
+	servers := make([]*httptest.Server, n)
+	for i, c := range cores {
+		servers[i] = httptest.NewServer(serve.Handler(c))
+		t.Cleanup(servers[i].Close)
+	}
+	return servers
+}
+
+// newRouterServer mounts a router over the given shard URLs; downIdx
+// (when >= 0) replaces that shard's URL with a dead address, modelling
+// a shard that is unreachable for the whole stream.
+func newRouterServer(t *testing.T, shardURLs []string, downIdx int) *httptest.Server {
+	t.Helper()
+	cfg := Config{MaxSize: 192, Cooldown: -1}
+	for i, u := range shardURLs {
+		if i == downIdx {
+			// A listener that is immediately closed: connections are
+			// refused, the transport error path fires.
+			dead := httptest.NewServer(http.NotFoundHandler())
+			u = dead.URL
+			dead.Close()
+		}
+		cfg.Shards = append(cfg.Shards, Shard{Name: u, Backend: NewHTTPBackend(u, nil)})
+	}
+	client, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	router := httptest.NewServer(serve.Handler(client))
+	t.Cleanup(router.Close)
+	return router
+}
+
+func TestShardedAnswersAreByteIdenticalToSingleNode(t *testing.T) {
+	stream := equivalenceStream()
+
+	// Reference: one cold single node, driven directly.
+	single := newShardServers(t, 1)[0]
+	want := replay(t, single.URL, stream)
+
+	topologies := []struct {
+		name    string
+		shards  int
+		downIdx int
+	}{
+		{"1-shard-router", 1, -1},
+		{"3-shard-router", 3, -1},
+		{"3-shard-one-down", 3, 1},
+	}
+	for _, topo := range topologies {
+		t.Run(topo.name, func(t *testing.T) {
+			servers := newShardServers(t, topo.shards)
+			urls := make([]string, len(servers))
+			for i, s := range servers {
+				urls[i] = s.URL
+			}
+			router := newRouterServer(t, urls, topo.downIdx)
+			got := replay(t, router.URL, stream)
+			for i := range stream {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Errorf("step %d (%s %s): router response differs from single node\nrouter: %s\nsingle: %s",
+						i, stream[i].method, stream[i].path, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTrainThroughRouterMatchesSingleNode(t *testing.T) {
+	// /train responses must also agree (identical deterministic fit;
+	// purge counts sum to the single node's). Cold nodes: warm both
+	// sides with the same batch first so there is something to purge.
+	stream := []streamStep{
+		{"POST", "/predict/batch", `{"requests": [
+			{"dtype": "FP16", "pattern": "constant(1)", "size": 32},
+			{"dtype": "FP16", "pattern": "constant(2)", "size": 32},
+			{"dtype": "FP16", "pattern": "constant(3)", "size": 24}
+		]}`},
+		{"POST", "/train", `{"dtype": "FP16", "sizes": [24, 32], "seed": 9}`},
+		{"POST", "/train", `{"dtype": "INT8", "patterns": ["gaussian(default)", "zorp(3)"]}`}, // 400
+	}
+
+	single := newShardServers(t, 1)[0]
+	want := replay(t, single.URL, stream)
+
+	servers := newShardServers(t, 2)
+	router := newRouterServer(t, []string{servers[0].URL, servers[1].URL}, -1)
+	got := replay(t, router.URL, stream)
+	for i := range stream {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("step %d: router response differs\nrouter: %s\nsingle: %s", i, got[i], want[i])
+		}
+	}
+}

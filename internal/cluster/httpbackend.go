@@ -1,0 +1,204 @@
+package cluster
+
+// HTTPBackend speaks the serve HTTP API as a serve.Backend, so a
+// remote powerserve process can stand wherever an in-process Core can:
+// as a ring shard behind Client, or directly. Transport-level failures
+// (unreachable host, non-JSON garbage where a response should be) are
+// reported as *TransportError so the cluster client can distinguish "a
+// shard is down, re-route" from "the computation itself rejected the
+// request", which is deterministic and identical on every shard.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TransportError reports that a shard could not be reached or answered
+// with something that is not a response (connection refused, timeout,
+// malformed body). It is the signal the cluster client re-routes on;
+// every other error is an answer, not an outage.
+type TransportError struct {
+	// Shard names the unreachable backend (its base URL).
+	Shard string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error formats the transport failure.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("cluster: shard %s unreachable: %v", e.Shard, e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// HTTPBackend implements serve.Backend over a powerserve (or nested
+// powerrouter) base URL.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend wraps a server root, e.g. "http://shard0:8090"
+// (client nil = a dedicated client with a timeout wide enough for the
+// slow /train path and a connection pool deep enough that a router
+// fanning out a concurrent batch load does not churn shard
+// connections — net/http's default of 2 idle conns per host collapses
+// under fan-out concurrency).
+func NewHTTPBackend(baseURL string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	return &HTTPBackend{base: baseURL, client: client}
+}
+
+// Name returns the backend's base URL.
+func (b *HTTPBackend) Name() string { return b.base }
+
+// Predict forwards one prediction to the shard.
+func (b *HTTPBackend) Predict(ctx context.Context, req serve.PredictRequest) (*serve.PredictResponse, error) {
+	var resp serve.PredictResponse
+	if err := b.post(ctx, "/predict", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PredictBatch forwards a batch to the shard.
+func (b *HTTPBackend) PredictBatch(ctx context.Context, req serve.BatchRequest) (*serve.BatchResponse, error) {
+	var resp serve.BatchResponse
+	if err := b.post(ctx, "/predict/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Train forwards a retrain to the shard.
+func (b *HTTPBackend) Train(ctx context.Context, req serve.TrainRequest) (*serve.TrainResponse, error) {
+	var resp serve.TrainResponse
+	if err := b.post(ctx, "/train", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches the shard's /healthz.
+func (b *HTTPBackend) Health(ctx context.Context) (*serve.HealthResponse, error) {
+	var resp serve.HealthResponse
+	if err := b.get(ctx, "/healthz", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the shard's /metrics snapshot, best-effort: an
+// unreachable shard yields nil (the interface has no error slot, and
+// metrics are advisory).
+func (b *HTTPBackend) Metrics() map[string]int64 {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var resp serve.MetricsResponse
+	if err := b.get(ctx, "/metrics", &resp); err != nil {
+		return nil
+	}
+	return resp.Metrics
+}
+
+// Close releases idle connections.
+func (b *HTTPBackend) Close() { b.client.CloseIdleConnections() }
+
+// post round-trips one JSON request/response pair.
+func (b *HTTPBackend) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return b.do(req, out)
+}
+
+// get round-trips one GET.
+func (b *HTTPBackend) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return b.do(req, out)
+}
+
+// do executes the request and classifies the outcome: transport
+// failures and malformed bodies become *TransportError, shard-side
+// validation rejections become *serve.RequestError (so the router
+// reports them as HTTP 400 with the shard's exact wording), everything
+// else is an opaque server error.
+func (b *HTTPBackend) do(req *http.Request, out any) error {
+	httpResp, err := b.client.Do(req)
+	if err != nil {
+		// A caller-cancelled context is the caller's doing, not an
+		// outage; report it as such so the client does not mark the
+		// shard down or re-route.
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return &TransportError{Shard: b.base, Err: err}
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+			return &TransportError{
+				Shard: b.base,
+				Err:   fmt.Errorf("status %d with undecodable body %q", httpResp.StatusCode, truncate(raw, 128)),
+			}
+		}
+		if httpResp.StatusCode == http.StatusBadRequest {
+			return serve.BadRequestf("%s", eb.Error)
+		}
+		return fmt.Errorf("cluster: shard %s: status %d: %s", b.base, httpResp.StatusCode, eb.Error)
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return &TransportError{Shard: b.base, Err: fmt.Errorf("malformed response: %w", err)}
+	}
+	return nil
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[:n]
+}
+
+// isTransport reports whether err (possibly wrapped) is a transport
+// failure a client should re-route around.
+func isTransport(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
+var _ serve.Backend = (*HTTPBackend)(nil)

@@ -1,0 +1,125 @@
+// Package cluster shards the prediction keyspace across N serving
+// backends behind one Backend-shaped front. A consistent-hash ring
+// (virtual nodes, seeded placement, fully deterministic) maps every
+// canonical (device, dtype, pattern, size) key to an owning shard; a
+// fan-out/fan-in batch client partitions /predict/batch requests by
+// owner, runs the sub-batches concurrently and merges the results
+// preserving item order and per-item errors. Because every shard is a
+// serve.Core — a deterministic function of the key — a sharded answer
+// is byte-identical to a single-node answer, and a down shard can be
+// re-routed around without changing a single output bit.
+//
+// cmd/powerrouter mounts serve.Handler over a Client of HTTP shards,
+// so on the wire a router is indistinguishable from one powerserve
+// process; examples/loadgen -shards N spins an in-process ring to
+// measure scaling.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring default parameters.
+const (
+	// DefaultVirtualNodes is the per-shard virtual-node count. 64
+	// points per shard keeps the keyspace split within a few percent of
+	// uniform for small rings while staying cheap to search.
+	DefaultVirtualNodes = 64
+	// DefaultSeed is the default placement seed. Routers and tests that
+	// must agree on placement must share both seed and vnode count.
+	DefaultSeed = 0xC1C4_11A5
+)
+
+// Ring is a deterministic consistent-hash ring over shard indexes
+// [0, n). Placement depends only on (n, vnodes, seed): two routers
+// built with equal parameters route every key identically, which is
+// what lets independent router replicas front one shard set.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing places vnodes points per shard (0 = DefaultVirtualNodes) on
+// the ring using the seeded hash (0 = DefaultSeed).
+func NewRing(shards, vnodes int, seed uint64) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, shards*vnodes),
+		shards: shards,
+	}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := hashString(fmt.Sprintf("%016x/%d/%d", seed, s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	// Tie-break equal hashes by shard index so placement is a total
+	// order regardless of sort stability.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// Shards returns the number of shards the ring was built over.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning key: the shard of the first ring
+// point at or clockwise of the key's hash.
+func (r *Ring) Owner(key string) int {
+	return r.points[r.firstPoint(hashString(key))].shard
+}
+
+// Sequence returns every shard in the key's preference order: the
+// owner first, then each distinct shard in clockwise ring order. A
+// client that walks the sequence re-routes around down shards
+// deterministically — every router makes the same fallback choice.
+func (r *Ring) Sequence(key string) []int {
+	seq := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	start := r.firstPoint(hashString(key))
+	for i := 0; i < len(r.points) && len(seq) < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			seq = append(seq, p.shard)
+		}
+	}
+	return seq
+}
+
+// firstPoint returns the index of the first point with hash >= h,
+// wrapping to 0 past the last point.
+func (r *Ring) firstPoint(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hashString is the ring's hash: 64-bit FNV-1a, stable across
+// processes and Go versions.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

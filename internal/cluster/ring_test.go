@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("A100-PCIe-40GB\x00FP16\x00constant(%d)\x00128", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing(3, 64, 0)
+	b := NewRing(3, 64, 0)
+	for _, k := range sampleKeys(256) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("equal rings disagree on owner of %q: %d vs %d", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingSeedChangesPlacement(t *testing.T) {
+	a := NewRing(3, 64, 1)
+	b := NewRing(3, 64, 2)
+	moved := 0
+	keys := sampleKeys(256)
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("different seeds produced identical placement for all 256 keys")
+	}
+}
+
+func TestRingSequenceCoversAllShardsOwnerFirst(t *testing.T) {
+	r := NewRing(4, 32, 0)
+	for _, k := range sampleKeys(64) {
+		seq := r.Sequence(k)
+		if len(seq) != 4 {
+			t.Fatalf("sequence %v does not cover 4 shards", seq)
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("sequence %v does not start with owner %d", seq, r.Owner(k))
+		}
+		seen := map[int]bool{}
+		for _, s := range seq {
+			if s < 0 || s >= 4 || seen[s] {
+				t.Fatalf("sequence %v is not a permutation of shards", seq)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	const shards, n = 3, 3000
+	r := NewRing(shards, 0, 0) // default vnodes
+	counts := make([]int, shards)
+	for _, k := range sampleKeys(n) {
+		counts[r.Owner(k)]++
+	}
+	for s, c := range counts {
+		// With 64 vnodes/shard the split stays well within ±60% of
+		// uniform; the bound guards against a degenerate ring, not
+		// against variance.
+		if c < n/shards/3 {
+			t.Errorf("shard %d owns only %d of %d keys — ring is degenerate (%v)", s, c, n, counts)
+		}
+	}
+}
+
+func TestRingSingleShardOwnsEverything(t *testing.T) {
+	r := NewRing(1, 16, 0)
+	for _, k := range sampleKeys(32) {
+		if r.Owner(k) != 0 {
+			t.Fatal("single-shard ring must own every key")
+		}
+	}
+}

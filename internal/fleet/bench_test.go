@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkFleetRun times a full deterministic fleet simulation —
+// synthetic trace generation, oracle resolution (memoized model
+// oracle) and the tick loop. CI's bench smoke captures it into the
+// BENCH_<sha>.json artifact, so cmd/benchdiff gates fleet-level
+// throughput regressions exactly like engine regressions.
+func BenchmarkFleetRun(b *testing.B) {
+	trace, err := Synthetic(SyntheticConfig{
+		Jobs:          64,
+		RatePerS:      400,
+		Seed:          7,
+		DTypes:        []string{"FP16"},
+		Patterns:      []string{"gaussian(default)", "constant(7)"},
+		Sizes:         []int{128, 256},
+		MinIterations: 2000,
+		MaxIterations: 8000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One shared oracle: after the first iteration every key is
+	// memoized, so steady-state iterations time the scheduler and
+	// integrator, not the simulation chain.
+	oracle := &ModelOracle{SampleOutputs: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), Config{
+			Devices:   testFleet(),
+			Oracle:    oracle,
+			PowerCapW: 500,
+		}, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -113,6 +113,20 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return &t, nil
 }
 
+// WriteTrace encodes the trace as indented JSON ({"jobs": [...]}), the
+// exact shape ReadTrace accepts — the recorder half of the trace
+// replay path. A synthetic run dumped with WriteTrace (cmd/fleetsim
+// -dump-trace) replays byte-identically: normalization is idempotent,
+// so ReadTrace(WriteTrace(t)) reproduces t exactly.
+func (t *Trace) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("fleet: write trace: %w", err)
+	}
+	return nil
+}
+
 // SyntheticConfig parameterizes a generated workload. Zero-valued
 // fields take the defaults noted on each.
 type SyntheticConfig struct {

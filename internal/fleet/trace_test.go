@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestTraceWriteReadRoundTrip(t *testing.T) {
+	// The recorder half of trace replay: a synthetic trace dumped with
+	// WriteTrace and re-read with ReadTrace must reproduce the exact
+	// job stream, and a second dump must be byte-identical (so a
+	// recorded fleetsim run replays to the same report).
+	orig, err := Synthetic(SyntheticConfig{
+		Jobs:     32,
+		RatePerS: 300,
+		Seed:     11,
+		DTypes:   []string{"FP16", "INT8"},
+		Patterns: []string{"gaussian(default)", "constant(7)", "gaussian(default) | sparsify(50%)"},
+		Sizes:    []int{64, 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := orig.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dumped := append([]byte(nil), buf.Bytes()...)
+
+	replayed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, replayed) {
+		t.Fatal("trace did not survive a write/read round trip")
+	}
+
+	var again bytes.Buffer
+	if err := replayed.WriteTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dumped, again.Bytes()) {
+		t.Fatal("re-dumped trace differs byte-for-byte from the original dump")
+	}
+}
+
+func TestTraceWritePinnedDeviceSurvives(t *testing.T) {
+	orig := &Trace{Jobs: []Job{
+		{ID: "a", Device: "A100-PCIe-40GB", DType: "FP16", Pattern: "constant(1)", Size: 64, Iterations: 100},
+		{ID: "b", DType: "INT8", Pattern: "gaussian( default )", Size: 32, ArrivalS: 0.5, Iterations: 50},
+	}}
+	if err := orig.normalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := orig.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, replayed) {
+		t.Fatalf("round trip lost fields:\norig:     %+v\nreplayed: %+v", orig, replayed)
+	}
+	if replayed.Jobs[0].Device != "A100-PCIe-40GB" {
+		t.Error("device pin lost in round trip")
+	}
+	// normalize canonicalized the pattern before the dump, so the
+	// replayed job spec (and with it every oracle key) is unchanged.
+	if replayed.Jobs[1].Pattern != "gaussian(default)" {
+		t.Errorf("pattern %q not canonical after round trip", replayed.Jobs[1].Pattern)
+	}
+}

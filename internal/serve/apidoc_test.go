@@ -182,13 +182,19 @@ func TestAPIDocExamplesRoundTrip(t *testing.T) {
 					t.Errorf("%s: response missing documented field %q", name, k)
 				}
 			}
+		case "/metrics":
+			for _, k := range []string{"metrics", "cache_hit_rate"} {
+				if _, ok := payload[k]; !ok {
+					t.Errorf("%s: response missing documented field %q", name, k)
+				}
+			}
 		}
 	}
 
 	// Every endpoint must have at least one executable success example
 	// and the POST endpoints at least one documented failure.
 	for _, want := range []string{
-		"POST /predict", "POST /predict/batch", "POST /train", "GET /healthz",
+		"POST /predict", "POST /predict/batch", "POST /train", "GET /healthz", "GET /metrics",
 	} {
 		if !covered[want] {
 			t.Errorf("docs/API.md has no roundtrip example for %s", want)

@@ -10,10 +10,6 @@ package serve
 import (
 	"context"
 	"sync"
-
-	"repro/internal/device"
-	"repro/internal/matrix"
-	"repro/internal/patterns"
 )
 
 // MaxBatchItems bounds one /predict/batch request. The limit exists
@@ -53,11 +49,8 @@ type BatchResponse struct {
 // batchGroup is one distinct key's work unit: the resolved request
 // parts plus every request index that collapsed onto the key.
 type batchGroup struct {
-	dev     *device.Device
-	dt      matrix.DType
-	pat     patterns.Pattern
-	key     Key
-	indexes []int
+	resolved Resolved
+	indexes  []int
 }
 
 // PredictBatch serves a batch of predictions, answering every request
@@ -66,17 +59,17 @@ type batchGroup struct {
 // not fail sibling items. Distinct keys run concurrently through the
 // same sharded pool as single-shot predictions, so a batch also
 // coalesces against concurrent /predict traffic for the same keys.
-func (s *Server) PredictBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+func (c *Core) PredictBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
 	if len(req.Requests) == 0 {
 		return nil, badRequestf("batch: empty request list")
 	}
 	if len(req.Requests) > MaxBatchItems {
 		return nil, badRequestf("batch: %d items exceeds limit %d", len(req.Requests), MaxBatchItems)
 	}
-	s.batches.Inc()
-	s.requests.Add(int64(len(req.Requests)))
-	s.inflight.Inc()
-	defer s.inflight.Dec()
+	c.batches.Inc()
+	c.requests.Add(int64(len(req.Requests)))
+	c.inflight.Inc()
+	defer c.inflight.Dec()
 
 	resp := &BatchResponse{Items: make([]BatchItem, len(req.Requests))}
 
@@ -87,24 +80,24 @@ func (s *Server) PredictBatch(ctx context.Context, req BatchRequest) (*BatchResp
 	var order []*batchGroup
 	var valid int
 	for i, pr := range req.Requests {
-		dev, dt, pat, key, err := s.resolve(pr)
+		res, err := c.resolve(pr)
 		if err != nil {
-			s.failures.Inc()
+			c.failures.Inc()
 			resp.Items[i] = BatchItem{Error: err.Error()}
 			continue
 		}
 		valid++
-		g, ok := groups[key]
+		g, ok := groups[res.Key]
 		if !ok {
-			g = &batchGroup{dev: dev, dt: dt, pat: pat, key: key}
-			groups[key] = g
+			g = &batchGroup{resolved: res}
+			groups[res.Key] = g
 			order = append(order, g)
 		}
 		g.indexes = append(g.indexes, i)
 	}
 	resp.Distinct = len(order)
 	resp.Coalesced = valid - len(order)
-	s.coalesced.Add(int64(resp.Coalesced))
+	c.coalesced.Add(int64(resp.Coalesced))
 
 	// One lookup per distinct key, fanned out concurrently. The pool
 	// provides the backpressure; this loop only pays goroutine setup.
@@ -113,7 +106,7 @@ func (s *Server) PredictBatch(ctx context.Context, req BatchRequest) (*BatchResp
 		wg.Add(1)
 		go func(g *batchGroup) {
 			defer wg.Done()
-			r, err := s.predictKeyed(ctx, g.dev, g.dt, g.pat, g.key)
+			r, err := c.predictKeyed(ctx, g.resolved)
 			if err != nil {
 				for _, i := range g.indexes {
 					resp.Items[i] = BatchItem{Error: err.Error()}

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"io"
 	"sync"
@@ -18,6 +19,15 @@ type Key struct {
 	DType   matrix.DType
 	Pattern string
 	Size    int
+}
+
+// RouteString returns the unambiguous string form of the key that the
+// cluster layer partitions the keyspace on: NUL-separated fields, so
+// no two distinct keys collide textually. Equivalent requests resolve
+// to equal RouteStrings (the pattern is canonical), which is what
+// pins a key to one ring owner.
+func (k Key) RouteString() string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d", k.Device, k.DType, k.Pattern, k.Size)
 }
 
 // shardHash returns a stable hash of the key for shard selection, so

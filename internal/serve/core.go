@@ -1,0 +1,346 @@
+package serve
+
+// The transport-free heart of the serving stack. Core owns the
+// prediction cache, the sharded worker pool and the predictor registry;
+// it implements Backend, the interface every transport (the HTTP
+// Server, the cluster router, in-process callers) serves through. A
+// cluster shard and a single node are the same object — Core — which is
+// what makes sharded answers byte-identical to single-node answers by
+// construction.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/matrix"
+	"repro/internal/patterns"
+	"repro/internal/power"
+	"repro/internal/telemetry"
+)
+
+// Backend is the transport-free prediction surface: everything a
+// client can ask of the serving stack, with no HTTP attached. Core
+// implements it for a single node; cluster.Client implements it for a
+// consistent-hash ring of nodes. Handler adapts any Backend to the
+// five-endpoint HTTP API, which is why a router is indistinguishable
+// from a single node on the wire.
+type Backend interface {
+	// Predict serves one prediction.
+	Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error)
+	// PredictBatch serves an ordered list of predictions as one unit.
+	PredictBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error)
+	// Train refits the predictor for one (device, dtype) and purges the
+	// cached predictions it supersedes.
+	Train(ctx context.Context, req TrainRequest) (*TrainResponse, error)
+	// Health reports liveness and the serving metrics.
+	Health(ctx context.Context) (*HealthResponse, error)
+	// Metrics returns a flat snapshot of the backend's counters and
+	// gauges.
+	Metrics() map[string]int64
+	// Close releases the backend's resources; in-flight calls finish
+	// first.
+	Close()
+}
+
+// Resolved is the executable form of a validated PredictRequest: the
+// device preset, parsed datatype and pattern, and the canonical cache
+// key every serving layer coalesces on.
+type Resolved struct {
+	// Device is the resolved preset.
+	Device *device.Device
+	// DType is the parsed datatype.
+	DType matrix.DType
+	// Pattern is the parsed input-pattern pipeline.
+	Pattern patterns.Pattern
+	// Key is the canonical (device, dtype, pattern, size) identity.
+	Key Key
+}
+
+// ResolveRequest validates a predict request into its executable
+// parts, applying the Default* values to empty fields and rejecting
+// sizes outside [8, maxSize] (0 = the serving default, 512). Core and
+// the cluster router share this exact code path, so a request invalid
+// at the router fails with byte-identical wording to a request invalid
+// at a shard.
+func ResolveRequest(req PredictRequest, maxSize int) (Resolved, error) {
+	if maxSize <= 0 {
+		maxSize = Config{}.withDefaults().MaxSize
+	}
+	if req.Device == "" {
+		req.Device = DefaultDevice
+	}
+	if req.DType == "" {
+		req.DType = DefaultDType
+	}
+	if req.Pattern == "" {
+		req.Pattern = DefaultPattern
+	}
+	if req.Size == 0 {
+		req.Size = DefaultSize
+	}
+	dev := device.ByName(req.Device)
+	if dev == nil {
+		return Resolved{}, badRequestf("unknown device %q (have %v)", req.Device, device.Names())
+	}
+	dt, ok := matrix.ParseDType(req.DType)
+	if !ok {
+		return Resolved{}, badRequestf("unknown dtype %q", req.DType)
+	}
+	pat, err := patterns.Parse(req.Pattern)
+	if err != nil {
+		return Resolved{}, badRequestf("bad pattern: %v", err)
+	}
+	if req.Size < 8 || req.Size > maxSize {
+		return Resolved{}, badRequestf("size %d out of [8, %d]", req.Size, maxSize)
+	}
+	key := Key{Device: dev.Name, DType: dt, Pattern: pat.Name, Size: req.Size}
+	return Resolved{Device: dev, DType: dt, Pattern: pat, Key: key}, nil
+}
+
+// Core is the single-node prediction engine: cache, worker pool and
+// predictor registry with no transport attached. It implements
+// Backend; Server wraps it in HTTP, cluster.Client fans out across
+// many of them, and tests and examples call it directly.
+type Core struct {
+	cfg      Config
+	metrics  *telemetry.MetricSet
+	cache    *lruCache
+	pool     *pool
+	registry *registry
+	// trainMu serializes Train: a sweep already fans out to
+	// GOMAXPROCS workers, so concurrent retrains would only
+	// oversubscribe the box and starve the predict pool.
+	trainMu sync.Mutex
+
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	simulations *telemetry.Counter
+	requests    *telemetry.Counter
+	failures    *telemetry.Counter
+	batches     *telemetry.Counter
+	coalesced   *telemetry.Counter
+	queueDepth  *telemetry.Gauge
+	inflight    *telemetry.Gauge
+}
+
+// NewCore builds and starts a single-node backend (its worker pool
+// runs until Close).
+func NewCore(cfg Config) *Core {
+	cfg = cfg.withDefaults()
+	m := telemetry.NewMetricSet()
+	c := &Core{
+		cfg:         cfg,
+		metrics:     m,
+		cache:       newLRUCache(cfg.CacheSize),
+		hits:        m.Counter("serve.cache.hits"),
+		misses:      m.Counter("serve.cache.misses"),
+		simulations: m.Counter("serve.simulations"),
+		requests:    m.Counter("serve.requests"),
+		failures:    m.Counter("serve.failures"),
+		batches:     m.Counter("serve.batch.requests"),
+		coalesced:   m.Counter("serve.batch.coalesced"),
+		queueDepth:  m.Gauge("serve.queue.depth"),
+		inflight:    m.Gauge("serve.inflight"),
+	}
+	c.pool = newPool(cfg.Shards, cfg.QueueDepth, c.queueDepth)
+	c.registry = newRegistry(cfg.Training, m.Counter("serve.trainings"))
+	return c
+}
+
+// Close drains the worker pool. In-flight Predict calls finish first.
+func (c *Core) Close() { c.pool.Close() }
+
+// Metrics returns a snapshot of the serving counters and gauges.
+func (c *Core) Metrics() map[string]int64 { return c.metrics.Snapshot() }
+
+// CacheHitRate returns hits/(hits+misses) over the core's lifetime.
+func (c *Core) CacheHitRate() float64 { return telemetry.HitRate(c.hits, c.misses) }
+
+// CacheLen returns the number of cached predictions.
+func (c *Core) CacheLen() int { return c.cache.Len() }
+
+// Health reports liveness, the served device/dtype vocabulary and the
+// metrics snapshot.
+func (c *Core) Health(ctx context.Context) (*HealthResponse, error) {
+	dtypes := make([]string, len(matrix.ExtendedDTypes))
+	for i, dt := range matrix.ExtendedDTypes {
+		dtypes[i] = dt.String()
+	}
+	return &HealthResponse{
+		Status:   "ok",
+		Devices:  device.Names(),
+		DTypes:   dtypes,
+		CacheLen: c.CacheLen(),
+		Metrics:  c.Metrics(),
+	}, nil
+}
+
+// resolve validates a predict request against this core's size bound.
+func (c *Core) resolve(req PredictRequest) (Resolved, error) {
+	return ResolveRequest(req, c.cfg.MaxSize)
+}
+
+// Predict serves one prediction: from the cache when possible,
+// otherwise through the worker pool and the full simulation chain.
+// Identical requests always return identical responses (all randomness
+// is derived from the request key), differing only in the Cached flag.
+func (c *Core) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	c.requests.Inc()
+	c.inflight.Inc()
+	defer c.inflight.Dec()
+
+	res, err := c.resolve(req)
+	if err != nil {
+		c.failures.Inc()
+		return nil, err
+	}
+	return c.predictKeyed(ctx, res)
+}
+
+// predictKeyed is the post-validation half of Predict: cache fast
+// path, lazy predictor resolution and the sharded simulation trip.
+// Predict and PredictBatch both funnel through it, so a batch item and
+// a single-shot request for the same key share cache entries, shard
+// serialization and metrics.
+func (c *Core) predictKeyed(ctx context.Context, r Resolved) (*PredictResponse, error) {
+	// Fast path: answer straight from the LRU without a pool trip. A
+	// response from a retrained-away predictor generation is treated
+	// as a miss and recomputed.
+	if resp, ok := c.cache.Get(r.Key); ok && resp.gen == c.registry.currentGen(r.Device.Name, r.DType) {
+		c.hits.Inc()
+		resp.Cached = true
+		return &resp, nil
+	}
+
+	// Resolve the predictor before entering the pool: the lazy
+	// training sweep is seconds of work and must not occupy a shard
+	// worker while unrelated keys queue behind it (the registry
+	// already coalesces concurrent trainings of one combination).
+	entry, err := c.registry.Get(ctx, r.Device, r.DType)
+	if err != nil {
+		c.failures.Inc()
+		return nil, err
+	}
+
+	v, err := c.pool.Do(ctx, r.Key.shardHash(), func() (any, error) {
+		// Re-check under the shard: an identical request queued ahead
+		// of this one may have filled the entry already. That still
+		// skipped the simulation, so it still counts as a hit.
+		if resp, ok := c.cache.Get(r.Key); ok && resp.gen == c.registry.currentGen(r.Device.Name, r.DType) {
+			c.hits.Inc()
+			resp.Cached = true
+			return &resp, nil
+		}
+		c.misses.Inc()
+		resp, err := c.compute(r, entry)
+		if err != nil {
+			return nil, err
+		}
+		c.cache.Put(r.Key, *resp)
+		return resp, nil
+	})
+	if err != nil {
+		c.failures.Inc()
+		return nil, err
+	}
+	return v.(*PredictResponse), nil
+}
+
+// compute runs the GEMM-simulation hot path for one key and assembles
+// the response.
+func (c *Core) compute(r Resolved, entry *regEntry) (*PredictResponse, error) {
+	rep, res, err := Simulate(r.Device, r.DType, r.Pattern, r.Key.Size, c.cfg.SampleOutputs)
+	if err != nil {
+		return nil, err
+	}
+	c.simulations.Inc()
+	features := power.FeaturesOf(rep, res)
+	predicted := entry.pred.Predict(features)
+	return &PredictResponse{
+		Device:         r.Device.Name,
+		DType:          r.DType.String(),
+		Pattern:        r.Key.Pattern,
+		Size:           r.Key.Size,
+		PredictedW:     predicted,
+		SimulatedW:     res.AvgPowerW,
+		ResidualW:      predicted - res.AvgPowerW,
+		TrainR2:        entry.r2,
+		IterTimeS:      res.IterTimeS,
+		EnergyPerIterJ: res.EnergyPerIterJ,
+		BusyFrac:       res.BusyFrac,
+		Throttled:      res.Throttled,
+		Features:       features,
+		gen:            entry.gen,
+	}, nil
+}
+
+// Train fits a fresh predictor for the requested (device, dtype) and
+// invalidates the cached predictions it supersedes. Train calls are
+// serialized: each sweep already parallelizes across GOMAXPROCS.
+func (c *Core) Train(ctx context.Context, req TrainRequest) (*TrainResponse, error) {
+	c.requests.Inc()
+	c.inflight.Inc()
+	defer c.inflight.Dec()
+
+	if req.Device == "" {
+		req.Device = DefaultDevice
+	}
+	if req.DType == "" {
+		req.DType = DefaultDType
+	}
+	dev := device.ByName(req.Device)
+	if dev == nil {
+		c.failures.Inc()
+		return nil, badRequestf("unknown device %q (have %v)", req.Device, device.Names())
+	}
+	dt, ok := matrix.ParseDType(req.DType)
+	if !ok {
+		c.failures.Inc()
+		return nil, badRequestf("unknown dtype %q", req.DType)
+	}
+	cfg := c.cfg.Training
+	if len(req.Sizes) > 0 {
+		for _, sz := range req.Sizes {
+			if sz < 8 || sz > c.cfg.MaxSize {
+				c.failures.Inc()
+				return nil, badRequestf("training size %d out of [8, %d]", sz, c.cfg.MaxSize)
+			}
+		}
+		cfg.Sizes = req.Sizes
+	}
+	if len(req.Patterns) > 0 {
+		cfg.Patterns = req.Patterns
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+
+	c.trainMu.Lock()
+	defer c.trainMu.Unlock()
+	entry, err := c.registry.Retrain(dev, dt, cfg)
+	if err != nil {
+		c.failures.Inc()
+		// A corpus the DSL cannot parse is the client's fault.
+		var pe *patterns.ParseError
+		if errors.As(err, &pe) {
+			return nil, badRequestf("%v", err)
+		}
+		return nil, err
+	}
+	purged := c.cache.Purge(func(k Key) bool {
+		return k.Device == dev.Name && k.DType == dt
+	})
+	return &TrainResponse{
+		Device:    dev.Name,
+		DType:     dt.String(),
+		WeightsPJ: entry.pred.Weights,
+		R2:        entry.r2,
+		Samples:   entry.samples,
+		Purged:    purged,
+	}, nil
+}
+
+// compile-time check that Core satisfies the transport interface.
+var _ Backend = (*Core)(nil)

@@ -1,42 +1,70 @@
 package serve
 
-// HTTP/JSON front of the Server: POST /predict, POST /predict/batch,
-// POST /train and GET /healthz. cmd/powerserve mounts Handler() behind
-// an http.Server; httptest can mount it directly in tests. Endpoint
-// request/response shapes are documented with runnable examples in
-// docs/API.md (round-tripped through this handler by apidoc_test.go).
+// HTTP/JSON front of a Backend: POST /predict, POST /predict/batch,
+// POST /train, GET /healthz and GET /metrics. cmd/powerserve mounts
+// Handler over a single-node Core; cmd/powerrouter mounts the same
+// Handler over a cluster.Client, which is why clients cannot tell a
+// router from a single node. httptest can mount it directly in tests.
+// Endpoint request/response shapes are documented with runnable
+// examples in docs/API.md (round-tripped through this handler by
+// apidoc_test.go).
 
 import (
 	"encoding/json"
 	"errors"
 	"net/http"
-
-	"repro/internal/device"
-	"repro/internal/matrix"
 )
 
 // maxBodyBytes bounds request bodies; every valid request is tiny.
 const maxBodyBytes = 1 << 20
 
 // HealthResponse is the /healthz payload: liveness plus the serving
-// metrics (cache hit counters, queue depth and high-water marks).
+// metrics (cache hit counters, queue depth and high-water marks). A
+// router's health additionally lists its shards.
 type HealthResponse struct {
 	Status   string           `json:"status"`
 	Devices  []string         `json:"devices"`
 	DTypes   []string         `json:"dtypes"`
 	CacheLen int              `json:"cache_len"`
 	Metrics  map[string]int64 `json:"metrics"`
+	// Shards is only set by cluster routers: one entry per ring member
+	// with its reachability and cache size.
+	Shards []ShardHealth `json:"shards,omitempty"`
 }
 
-// Handler returns the HTTP mux for the server.
-func (s *Server) Handler() http.Handler {
+// ShardHealth is one ring member's state in a router's /healthz.
+type ShardHealth struct {
+	// Name identifies the shard (its address for HTTP shards).
+	Name string `json:"name"`
+	// Status is "ok" or "down".
+	Status string `json:"status"`
+	// CacheLen is the shard's prediction-cache size (0 when down).
+	CacheLen int `json:"cache_len"`
+}
+
+// MetricsResponse is the GET /metrics payload: the backend's counter
+// and gauge snapshot plus the derived cache hit-rate.
+type MetricsResponse struct {
+	// Metrics is the flat counter/gauge snapshot (gauges appear twice:
+	// current level and <name>.max high-water mark).
+	Metrics map[string]int64 `json:"metrics"`
+	// CacheHitRate is hits/(hits+misses) derived from the snapshot's
+	// serve.cache.* counters — the node's own on a single node, the
+	// ring-wide aggregate on a router (cluster.Client folds the shards'
+	// serve.* counters into its snapshot); 0 before any lookup.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Handler adapts any Backend to the five-endpoint HTTP API. A Core
+// and a cluster.Client serve identical wire surfaces through it.
+func Handler(b Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
 		var req PredictRequest
 		if !decodeJSONPost(w, r, &req) {
 			return
 		}
-		resp, err := s.Predict(r.Context(), req)
+		resp, err := b.Predict(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -48,7 +76,7 @@ func (s *Server) Handler() http.Handler {
 		if !decodeJSONPost(w, r, &req) {
 			return
 		}
-		resp, err := s.PredictBatch(r.Context(), req)
+		resp, err := b.PredictBatch(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -60,7 +88,7 @@ func (s *Server) Handler() http.Handler {
 		if !decodeJSONPost(w, r, &req) {
 			return
 		}
-		resp, err := s.Train(r.Context(), req)
+		resp, err := b.Train(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -72,19 +100,35 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use GET"})
 			return
 		}
-		dtypes := make([]string, len(matrix.ExtendedDTypes))
-		for i, dt := range matrix.ExtendedDTypes {
-			dtypes[i] = dt.String()
+		resp, err := b.Health(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, &HealthResponse{
-			Status:   "ok",
-			Devices:  device.Names(),
-			DTypes:   dtypes,
-			CacheLen: s.CacheLen(),
-			Metrics:  s.Metrics(),
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use GET"})
+			return
+		}
+		m := b.Metrics()
+		writeJSON(w, http.StatusOK, &MetricsResponse{
+			Metrics:      m,
+			CacheHitRate: hitRateFrom(m),
 		})
 	})
 	return mux
+}
+
+// hitRateFrom derives the lifetime cache hit-rate from a metrics
+// snapshot's serve.cache.* counters.
+func hitRateFrom(m map[string]int64) float64 {
+	hits, misses := m["serve.cache.hits"], m["serve.cache.misses"]
+	if hits+misses <= 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 type errorBody struct {

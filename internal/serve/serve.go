@@ -16,18 +16,20 @@
 //     that serializes identical keys on one shard, so a thundering
 //     herd of equal requests costs one simulation.
 //
-// Cache hit-rate, queue depth, in-flight requests and simulation
-// counts are exported through a telemetry.MetricSet; cmd/powerserve
-// wraps the whole thing in an HTTP/JSON server and examples/loadgen
-// drives it.
+// The package is layered transport-free core first: Core owns cache,
+// pool and registry and implements Backend; Server is a thin HTTP
+// adapter over a Core (Handler adapts any Backend, which is how
+// cmd/powerrouter serves a whole internal/cluster ring through the
+// same five endpoints). Cache hit-rate, queue depth, in-flight
+// requests and simulation counts are exported through a
+// telemetry.MetricSet; cmd/powerserve wraps the whole thing in an
+// HTTP/JSON server and examples/loadgen drives it.
 package serve
 
 import (
-	"context"
-	"errors"
 	"fmt"
+	"net/http"
 	"runtime"
-	"sync"
 
 	"repro/internal/activity"
 	"repro/internal/device"
@@ -37,7 +39,6 @@ import (
 	"repro/internal/patterns"
 	"repro/internal/power"
 	"repro/internal/rng"
-	"repro/internal/telemetry"
 )
 
 // Request defaults and limits.
@@ -48,7 +49,7 @@ const (
 	DefaultSize    = 256
 )
 
-// Config parameterizes a Server. The zero value serves with sensible
+// Config parameterizes a Core. The zero value serves with sensible
 // defaults.
 type Config struct {
 	// CacheSize bounds the prediction LRU (default 4096 entries).
@@ -169,194 +170,32 @@ type RequestError struct{ msg string }
 // Error returns the validation failure message.
 func (e *RequestError) Error() string { return e.msg }
 
-func badRequestf(format string, args ...any) error {
+// BadRequestf builds a RequestError. It is exported so the cluster
+// router can reject a request it refuses to forward (empty batch,
+// oversized batch, invalid item) with byte-identical wording and the
+// same HTTP 400 mapping a single node would use.
+func BadRequestf(format string, args ...any) error {
 	return &RequestError{msg: fmt.Sprintf(format, args...)}
 }
 
-// Server is the concurrent power-prediction service.
-type Server struct {
-	cfg      Config
-	metrics  *telemetry.MetricSet
-	cache    *lruCache
-	pool     *pool
-	registry *registry
-	// trainMu serializes /train: a sweep already fans out to
-	// GOMAXPROCS workers, so concurrent retrains would only
-	// oversubscribe the box and starve the predict pool.
-	trainMu sync.Mutex
+func badRequestf(format string, args ...any) error {
+	return BadRequestf(format, args...)
+}
 
-	hits        *telemetry.Counter
-	misses      *telemetry.Counter
-	simulations *telemetry.Counter
-	requests    *telemetry.Counter
-	failures    *telemetry.Counter
-	batches     *telemetry.Counter
-	coalesced   *telemetry.Counter
-	queueDepth  *telemetry.Gauge
-	inflight    *telemetry.Gauge
+// Server is the HTTP face of a single-node Core: the Core embedded for
+// direct (transport-free) use plus the Handler adapter. Everything
+// stateful lives in the Core.
+type Server struct {
+	*Core
 }
 
 // New builds and starts a server (its worker pool runs until Close).
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	m := telemetry.NewMetricSet()
-	s := &Server{
-		cfg:         cfg,
-		metrics:     m,
-		cache:       newLRUCache(cfg.CacheSize),
-		hits:        m.Counter("serve.cache.hits"),
-		misses:      m.Counter("serve.cache.misses"),
-		simulations: m.Counter("serve.simulations"),
-		requests:    m.Counter("serve.requests"),
-		failures:    m.Counter("serve.failures"),
-		batches:     m.Counter("serve.batch.requests"),
-		coalesced:   m.Counter("serve.batch.coalesced"),
-		queueDepth:  m.Gauge("serve.queue.depth"),
-		inflight:    m.Gauge("serve.inflight"),
-	}
-	s.pool = newPool(cfg.Shards, cfg.QueueDepth, s.queueDepth)
-	s.registry = newRegistry(cfg.Training, m.Counter("serve.trainings"))
-	return s
+	return &Server{Core: NewCore(cfg)}
 }
 
-// Close drains the worker pool. In-flight Predict calls finish first.
-func (s *Server) Close() { s.pool.Close() }
-
-// Metrics returns a snapshot of the serving counters and gauges.
-func (s *Server) Metrics() map[string]int64 { return s.metrics.Snapshot() }
-
-// CacheHitRate returns hits/(hits+misses) over the server's lifetime.
-func (s *Server) CacheHitRate() float64 { return telemetry.HitRate(s.hits, s.misses) }
-
-// CacheLen returns the number of cached predictions.
-func (s *Server) CacheLen() int { return s.cache.Len() }
-
-// resolve validates a predict request into its executable parts.
-func (s *Server) resolve(req PredictRequest) (*device.Device, matrix.DType, patterns.Pattern, Key, error) {
-	if req.Device == "" {
-		req.Device = DefaultDevice
-	}
-	if req.DType == "" {
-		req.DType = DefaultDType
-	}
-	if req.Pattern == "" {
-		req.Pattern = DefaultPattern
-	}
-	if req.Size == 0 {
-		req.Size = DefaultSize
-	}
-	dev := device.ByName(req.Device)
-	if dev == nil {
-		return nil, 0, patterns.Pattern{}, Key{}, badRequestf("unknown device %q (have %v)", req.Device, device.Names())
-	}
-	dt, ok := matrix.ParseDType(req.DType)
-	if !ok {
-		return nil, 0, patterns.Pattern{}, Key{}, badRequestf("unknown dtype %q", req.DType)
-	}
-	pat, err := patterns.Parse(req.Pattern)
-	if err != nil {
-		return nil, 0, patterns.Pattern{}, Key{}, badRequestf("bad pattern: %v", err)
-	}
-	if req.Size < 8 || req.Size > s.cfg.MaxSize {
-		return nil, 0, patterns.Pattern{}, Key{}, badRequestf("size %d out of [8, %d]", req.Size, s.cfg.MaxSize)
-	}
-	key := Key{Device: dev.Name, DType: dt, Pattern: pat.Name, Size: req.Size}
-	return dev, dt, pat, key, nil
-}
-
-// Predict serves one prediction: from the cache when possible,
-// otherwise through the worker pool and the full simulation chain.
-// Identical requests always return identical responses (all randomness
-// is derived from the request key), differing only in the Cached flag.
-func (s *Server) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
-	s.requests.Inc()
-	s.inflight.Inc()
-	defer s.inflight.Dec()
-
-	dev, dt, pat, key, err := s.resolve(req)
-	if err != nil {
-		s.failures.Inc()
-		return nil, err
-	}
-	return s.predictKeyed(ctx, dev, dt, pat, key)
-}
-
-// predictKeyed is the post-validation half of Predict: cache fast
-// path, lazy predictor resolution and the sharded simulation trip.
-// Predict and PredictBatch both funnel through it, so a batch item and
-// a single-shot request for the same key share cache entries, shard
-// serialization and metrics.
-func (s *Server) predictKeyed(ctx context.Context, dev *device.Device, dt matrix.DType, pat patterns.Pattern, key Key) (*PredictResponse, error) {
-	// Fast path: answer straight from the LRU without a pool trip. A
-	// response from a retrained-away predictor generation is treated
-	// as a miss and recomputed.
-	if resp, ok := s.cache.Get(key); ok && resp.gen == s.registry.currentGen(dev.Name, dt) {
-		s.hits.Inc()
-		resp.Cached = true
-		return &resp, nil
-	}
-
-	// Resolve the predictor before entering the pool: the lazy
-	// training sweep is seconds of work and must not occupy a shard
-	// worker while unrelated keys queue behind it (the registry
-	// already coalesces concurrent trainings of one combination).
-	entry, err := s.registry.Get(ctx, dev, dt)
-	if err != nil {
-		s.failures.Inc()
-		return nil, err
-	}
-
-	v, err := s.pool.Do(ctx, key.shardHash(), func() (any, error) {
-		// Re-check under the shard: an identical request queued ahead
-		// of this one may have filled the entry already. That still
-		// skipped the simulation, so it still counts as a hit.
-		if resp, ok := s.cache.Get(key); ok && resp.gen == s.registry.currentGen(dev.Name, dt) {
-			s.hits.Inc()
-			resp.Cached = true
-			return &resp, nil
-		}
-		s.misses.Inc()
-		resp, err := s.compute(dev, dt, pat, key, entry)
-		if err != nil {
-			return nil, err
-		}
-		s.cache.Put(key, *resp)
-		return resp, nil
-	})
-	if err != nil {
-		s.failures.Inc()
-		return nil, err
-	}
-	return v.(*PredictResponse), nil
-}
-
-// compute runs the GEMM-simulation hot path for one key and assembles
-// the response.
-func (s *Server) compute(dev *device.Device, dt matrix.DType, pat patterns.Pattern, key Key, entry *regEntry) (*PredictResponse, error) {
-	rep, res, err := Simulate(dev, dt, pat, key.Size, s.cfg.SampleOutputs)
-	if err != nil {
-		return nil, err
-	}
-	s.simulations.Inc()
-	features := power.FeaturesOf(rep, res)
-	predicted := entry.pred.Predict(features)
-	return &PredictResponse{
-		Device:         dev.Name,
-		DType:          dt.String(),
-		Pattern:        key.Pattern,
-		Size:           key.Size,
-		PredictedW:     predicted,
-		SimulatedW:     res.AvgPowerW,
-		ResidualW:      predicted - res.AvgPowerW,
-		TrainR2:        entry.r2,
-		IterTimeS:      res.IterTimeS,
-		EnergyPerIterJ: res.EnergyPerIterJ,
-		BusyFrac:       res.BusyFrac,
-		Throttled:      res.Throttled,
-		Features:       features,
-		gen:            entry.gen,
-	}, nil
-}
+// Handler returns the HTTP mux serving this server's Core.
+func (s *Server) Handler() http.Handler { return Handler(s.Core) }
 
 // Simulate runs the deterministic measurement chain a /predict miss
 // executes: pattern-filled size² A and B (distinct streams derived
@@ -383,70 +222,4 @@ func Simulate(dev *device.Device, dt matrix.DType, pat patterns.Pattern, size, s
 		return nil, nil, err
 	}
 	return rep, res, nil
-}
-
-// Train fits a fresh predictor for the requested (device, dtype) and
-// invalidates the cached predictions it supersedes. Train calls are
-// serialized: each sweep already parallelizes across GOMAXPROCS.
-func (s *Server) Train(ctx context.Context, req TrainRequest) (*TrainResponse, error) {
-	s.requests.Inc()
-	s.inflight.Inc()
-	defer s.inflight.Dec()
-
-	if req.Device == "" {
-		req.Device = DefaultDevice
-	}
-	if req.DType == "" {
-		req.DType = DefaultDType
-	}
-	dev := device.ByName(req.Device)
-	if dev == nil {
-		s.failures.Inc()
-		return nil, badRequestf("unknown device %q (have %v)", req.Device, device.Names())
-	}
-	dt, ok := matrix.ParseDType(req.DType)
-	if !ok {
-		s.failures.Inc()
-		return nil, badRequestf("unknown dtype %q", req.DType)
-	}
-	cfg := s.cfg.Training
-	if len(req.Sizes) > 0 {
-		for _, sz := range req.Sizes {
-			if sz < 8 || sz > s.cfg.MaxSize {
-				s.failures.Inc()
-				return nil, badRequestf("training size %d out of [8, %d]", sz, s.cfg.MaxSize)
-			}
-		}
-		cfg.Sizes = req.Sizes
-	}
-	if len(req.Patterns) > 0 {
-		cfg.Patterns = req.Patterns
-	}
-	if req.Seed != 0 {
-		cfg.Seed = req.Seed
-	}
-
-	s.trainMu.Lock()
-	defer s.trainMu.Unlock()
-	entry, err := s.registry.Retrain(dev, dt, cfg)
-	if err != nil {
-		s.failures.Inc()
-		// A corpus the DSL cannot parse is the client's fault.
-		var pe *patterns.ParseError
-		if errors.As(err, &pe) {
-			return nil, badRequestf("%v", err)
-		}
-		return nil, err
-	}
-	purged := s.cache.Purge(func(k Key) bool {
-		return k.Device == dev.Name && k.DType == dt
-	})
-	return &TrainResponse{
-		Device:    dev.Name,
-		DType:     dt.String(),
-		WeightsPJ: entry.pred.Weights,
-		R2:        entry.r2,
-		Samples:   entry.samples,
-		Purged:    purged,
-	}, nil
 }

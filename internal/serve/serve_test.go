@@ -250,10 +250,11 @@ func TestStaleGenerationEntryIsRecomputed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, _, key, err := s.resolve(req)
+	res, err := s.resolve(req)
 	if err != nil {
 		t.Fatal(err)
 	}
+	key := res.Key
 	stale := *fresh
 	stale.gen = 0 // as if computed before the current predictor existed
 	stale.PredictedW = -1
@@ -414,6 +415,59 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if _, ok := hr.Metrics["serve.queue.depth.max"]; !ok {
 		t.Errorf("health metrics missing queue depth high-water: %v", hr.Metrics)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One miss then one hit: the endpoint must expose the counters and
+	// derive the hit-rate from them.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/predict", "application/json",
+			bytes.NewReader([]byte(`{"pattern": "constant(9)", "size": 32}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm-up predict %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr MetricsResponse
+	if err := json.NewDecoder(r.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", r.StatusCode)
+	}
+	if mr.Metrics["serve.cache.hits"] != 1 || mr.Metrics["serve.cache.misses"] != 1 {
+		t.Errorf("metrics counters %v, want 1 hit and 1 miss", mr.Metrics)
+	}
+	if mr.CacheHitRate != 0.5 {
+		t.Errorf("cache_hit_rate = %v, want 0.5", mr.CacheHitRate)
+	}
+	if mr.CacheHitRate != s.CacheHitRate() {
+		t.Errorf("endpoint hit-rate %v disagrees with Server.CacheHitRate() %v", mr.CacheHitRate, s.CacheHitRate())
+	}
+
+	// POST is rejected.
+	resp, err := http.Post(ts.URL+"/metrics", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status %d, want 405", resp.StatusCode)
 	}
 }
 
