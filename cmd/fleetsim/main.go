@@ -15,6 +15,14 @@
 //	fleetsim -serve http://localhost:8090 ...   # operating points via POST /predict/batch
 //	fleetsim -jobs 256 -seed 1 -dump-trace jobs.json   # record the synthetic run, replay with -trace
 //
+// Placement is pluggable (internal/sched): -policy selects the
+// scheduling policy for one run, and -compare replays the same trace
+// through several policies and emits the exact A/B front table
+// (latency/energy/throttle axes, JSON or CSV):
+//
+//	fleetsim -policy PowerPack -cap 310 -jobs 256 -seed 1
+//	fleetsim -compare EarliestCompletion,PowerPack -cap 310 -jobs 256 -seed 1 -format csv
+//
 // -serve accepts a powerserve or a powerrouter base URL — the sharded
 // deployment speaks the same /predict/batch and returns byte-identical
 // answers.
@@ -22,6 +30,12 @@
 // Without -serve, operating points come from the in-process model
 // oracle (one simulation per distinct (device, dtype, pattern, size)
 // key, memoized).
+//
+// Flag combinations are validated strictly: synthetic-workload flags
+// (-jobs, -rate, -seed, -sizes, -dtypes, -patterns, -dump-trace)
+// conflict with -trace, and -policy or -samples conflict with
+// -compare. Invalid combinations fail loudly with usage text instead
+// of being silently ignored.
 package main
 
 import (
@@ -34,6 +48,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/fleet"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -51,12 +66,40 @@ func main() {
 		tick        = flag.Float64("tick", 1e-3, "integration step, seconds")
 		horizon     = flag.Float64("horizon", 300, "abort unfinished runs at this simulated time, seconds")
 		serveURL    = flag.String("serve", "", "resolve operating points via this powerserve base URL's /predict/batch (default: in-process model oracle)")
-		format      = flag.String("format", "json", "report format: json or csv (csv implies -samples)")
+		policyFlag  = flag.String("policy", "EarliestCompletion", "scheduling policy: "+strings.Join(sched.Names(), ", "))
+		compareFlag = flag.String("compare", "", "comma-separated policies to A/B on one trace; emits a front table instead of a report")
+		format      = flag.String("format", "json", "output format: json or csv (for reports, csv implies -samples)")
 		samples     = flag.Bool("samples", false, "record the full telemetry timeline in the report")
 		out         = flag.String("o", "", "write the report to this file (default stdout)")
 		dumpTrace   = flag.String("dump-trace", "", "write the executed trace (normalized) to this JSON file, replayable via -trace")
 	)
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if flag.NArg() > 0 {
+		fatalUsage(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+	if *traceFile != "" {
+		// A replayed trace fixes the workload: every synthetic-workload
+		// knob would be silently dead weight, so reject the combination.
+		for _, name := range []string{"jobs", "rate", "seed", "sizes", "dtypes", "patterns", "dump-trace"} {
+			if set[name] {
+				fatalUsage(fmt.Errorf("-%s configures the synthetic workload and conflicts with -trace", name))
+			}
+		}
+	}
+	if set["compare"] {
+		if set["policy"] {
+			fatalUsage(fmt.Errorf("-policy conflicts with -compare (the comparison runs every listed policy)"))
+		}
+		if set["samples"] {
+			fatalUsage(fmt.Errorf("-samples applies to single-run reports, not -compare front tables"))
+		}
+	}
+	if *format != "json" && *format != "csv" {
+		fatalUsage(fmt.Errorf("unknown format %q (json or csv)", *format))
+	}
 
 	devs, err := parseDevices(*devicesFlag)
 	if err != nil {
@@ -115,17 +158,14 @@ func main() {
 		oracle = fleet.NewHTTPOracle(strings.TrimRight(*serveURL, "/"))
 	}
 
-	report, err := fleet.Run(context.Background(), fleet.Config{
+	cfg := fleet.Config{
 		Devices:       devs,
 		Oracle:        oracle,
 		PowerCapW:     *capW,
 		AmbientC:      *ambient,
 		TickS:         *tick,
 		HorizonS:      *horizon,
-		RecordSamples: *samples || *format == "csv",
-	}, trace)
-	if err != nil {
-		fatal(err)
+		RecordSamples: *samples || (*compareFlag == "" && *format == "csv"),
 	}
 
 	w := os.Stdout
@@ -137,13 +177,58 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+
+	if *compareFlag != "" {
+		policies, err := parsePolicies(*compareFlag)
+		if err != nil {
+			fatalUsage(err)
+		}
+		front, err := sched.Compare(context.Background(), fleet.PolicyRunner(cfg, trace), policies)
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "json":
+			err = front.WriteJSON(w)
+		case "csv":
+			err = front.WriteCSV(w)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		unfinished := 0
+		for _, o := range front.Outcomes {
+			fmt.Fprintf(os.Stderr,
+				"fleetsim: %-20s %d/%d jobs, makespan %.3fs, p99 latency %.3fs, %.0f J, %d throttle events (%.3fs capped)\n",
+				o.Policy, o.Completed, o.Jobs, o.MakespanS, o.LatencyP99S, o.FleetEnergyJ, o.ThrottleEvents, o.CapThrottledS)
+			unfinished += o.Unfinished
+		}
+		// Mirror the single-run exit contract: a truncated comparison
+		// (any policy leaving jobs unfinished at the horizon) is a
+		// failure, not a success with a caveat buried in the table.
+		if unfinished > 0 {
+			fmt.Fprintf(os.Stderr, "fleetsim: %d jobs unfinished at horizon %.0fs across compared policies\n", unfinished, *horizon)
+			os.Exit(1)
+		}
+		return
+	}
+
+	policy, err := sched.ByName(*policyFlag)
+	if err != nil {
+		fatalUsage(err)
+	}
+	cfg.Policy = policy
+
+	report, err := fleet.Run(context.Background(), cfg, trace)
+	if err != nil {
+		fatal(err)
+	}
+
 	switch *format {
 	case "json":
 		err = report.WriteJSON(w)
 	case "csv":
 		err = report.WriteCSV(w)
-	default:
-		err = fmt.Errorf("unknown format %q (json or csv)", *format)
 	}
 	if err != nil {
 		fatal(err)
@@ -152,14 +237,31 @@ func main() {
 	// A one-line operator summary on stderr, so it never pollutes a
 	// report piped from stdout.
 	fmt.Fprintf(os.Stderr,
-		"fleetsim: %d devices, %d/%d jobs, makespan %.3fs, avg %.0fW peak %.0fW, p99 latency %.3fs, %d throttle events, %d/%d oracle lookups distinct\n",
-		len(devs), report.Completed, report.Jobs, report.DurationS,
+		"fleetsim: %s, %d devices, %d/%d jobs, makespan %.3fs, avg %.0fW peak %.0fW, p99 latency %.3fs, %d throttle events, %d/%d oracle lookups distinct\n",
+		policy.Name(), len(devs), report.Completed, report.Jobs, report.DurationS,
 		report.AvgFleetW, report.PeakFleetW, report.LatencyP99S,
 		len(report.ThrottleEvents), report.Oracle.Distinct, report.Oracle.Lookups)
 	if report.Unfinished > 0 {
 		fmt.Fprintf(os.Stderr, "fleetsim: %d jobs unfinished at horizon %.0fs\n", report.Unfinished, *horizon)
 		os.Exit(1)
 	}
+}
+
+// parsePolicies resolves a comma-separated policy list.
+func parsePolicies(spec string) ([]sched.Policy, error) {
+	names := splitList(spec, ",")
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-compare needs at least one policy (have %s)", strings.Join(sched.Names(), ", "))
+	}
+	policies := make([]sched.Policy, len(names))
+	for i, n := range names {
+		p, err := sched.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		policies[i] = p
+	}
+	return policies, nil
 }
 
 // parseDevices expands "A100-PCIe-40GB:2,H100-SXM5-80GB:1" into device
@@ -217,4 +319,12 @@ func parseInts(s string) ([]int, error) {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a flag-combination error together with the usage
+// text, exiting with the conventional flag-error status 2.
+func fatalUsage(err error) {
+	fmt.Fprintf(os.Stderr, "fleetsim: %v\n\n", err)
+	flag.Usage()
+	os.Exit(2)
 }

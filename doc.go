@@ -33,6 +33,16 @@
 // simulation per distinct key, however many jobs are queued).
 // cmd/fleetsim is its CLI and examples/fleet the walkthrough.
 //
+// internal/sched makes fleet placement pluggable: policies observe
+// per-device backlog, temperature and the Oracle's predicted operating
+// points and return placements — EarliestCompletion (the historical
+// scheduler, byte-identical by golden test), PowerPack (pack hot jobs
+// under the cap), ThermalSpread and EnergyGreedy. sched.Compare
+// replays one trace through several policies into an exact
+// latency/energy/throttle front table (fleetsim -policy/-compare,
+// examples/schedfront); fleet.ReadAlibabaCSV imports real cluster-log
+// rows as job streams.
+//
 // # Engine architecture
 //
 // The simulation hot path is organized around precomputation and

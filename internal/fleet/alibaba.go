@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The Alibaba importer is a deliberate stub pending full calibration
+// (ROADMAP "trace importers"): it maps the columns a real
+// cluster-trace-gpu-v2020 task table actually has — start time,
+// end time, requested GPU share, GPU model — onto the GEMM job stream
+// the simulator runs. What a real trace does not record is the part
+// the paper is about (input encodings and datatypes), so every
+// imported job runs dense Gaussian FP16; the import exists to give
+// policies realistic arrival processes and service-time mixes, not
+// realistic bit activity.
+const (
+	// alibabaArrivalScale compresses cluster wall time onto simulated
+	// seconds: 1000 s of trace time per simulated second, so a day-long
+	// trace window replays in under two simulated minutes.
+	alibabaArrivalScale = 1e-3
+	// alibabaItersPerTraceS converts a task's recorded duration into a
+	// GEMM iteration count, keeping service-time ratios roughly aligned
+	// with the compressed arrival clock.
+	alibabaItersPerTraceS = 50
+)
+
+// alibabaGPUPins maps trace gpu_type spellings onto device presets.
+// Models without a preset (T4, P100, MISC, CPU-only) stay unpinned and
+// the scheduler places them freely.
+var alibabaGPUPins = map[string]string{
+	"V100":    "V100-SXM2-32GB",
+	"V100M32": "V100-SXM2-32GB",
+	"A100":    "A100-PCIe-40GB",
+	"H100":    "H100-SXM5-80GB",
+}
+
+// ReadAlibabaCSV imports an Alibaba GPU cluster trace
+// (cluster-trace-gpu-v2020 task table shape) as a GEMM job stream.
+// The CSV must carry a header row naming at least start_time,
+// end_time and gpu_type (case-insensitive, any column order);
+// job_name, plan_gpu and status are honoured when present:
+//
+//   - arrival is start_time, rebased to the earliest kept row and
+//     compressed by alibabaArrivalScale;
+//   - iterations come from the task duration (end_time − start_time)
+//     at alibabaItersPerTraceS; rows with non-positive durations are
+//     dropped, as are rows whose status is not Terminated — both are
+//     failed or still-running tasks in the real trace;
+//   - plan_gpu (a percentage of one GPU) picks the GEMM size: a full
+//     GPU runs 512², half a GPU 256², smaller shares 128²;
+//   - gpu_type pins the job to the matching device preset when one
+//     exists, otherwise the job schedules freely.
+//
+// The result is normalized exactly like ReadTrace's, so
+// WriteTrace/ReadTrace round-trips it byte-identically.
+func ReadAlibabaCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: alibaba trace: missing header: %w", err)
+	}
+	col := map[string]int{}
+	for i, name := range header {
+		col[strings.ToLower(strings.TrimSpace(name))] = i
+	}
+	for _, required := range []string{"start_time", "end_time", "gpu_type"} {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("fleet: alibaba trace: header lacks %q (have %v)", required, header)
+		}
+	}
+	field := func(row []string, name string) string {
+		i, ok := col[name]
+		if !ok || i >= len(row) {
+			return ""
+		}
+		return strings.TrimSpace(row[i])
+	}
+
+	var jobs []Job
+	var starts []float64
+	minStart := 0.0
+	for rowNum := 1; ; rowNum++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fleet: alibaba trace row %d: %w", rowNum, err)
+		}
+		if status := field(row, "status"); status != "" && !strings.EqualFold(status, "Terminated") {
+			continue
+		}
+		start, err := strconv.ParseFloat(field(row, "start_time"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: alibaba trace row %d: bad start_time %q", rowNum, field(row, "start_time"))
+		}
+		end, err := strconv.ParseFloat(field(row, "end_time"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: alibaba trace row %d: bad end_time %q", rowNum, field(row, "end_time"))
+		}
+		duration := end - start
+		if duration <= 0 {
+			continue
+		}
+		size := 128
+		if planGPU := field(row, "plan_gpu"); planGPU != "" {
+			plan, err := strconv.ParseFloat(planGPU, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: alibaba trace row %d: bad plan_gpu %q", rowNum, planGPU)
+			}
+			switch {
+			case plan >= 100:
+				size = 512
+			case plan >= 50:
+				size = 256
+			}
+		}
+		name := field(row, "job_name")
+		if name == "" {
+			name = "task"
+		}
+		iters := int(duration * alibabaItersPerTraceS)
+		if iters < 1 {
+			iters = 1
+		}
+		if len(jobs) == 0 || start < minStart {
+			minStart = start
+		}
+		starts = append(starts, start)
+		jobs = append(jobs, Job{
+			// The row number keeps IDs unique: real traces repeat
+			// job_name across a job's tasks.
+			ID:         fmt.Sprintf("%s-%04d", name, rowNum),
+			Device:     alibabaGPUPins[strings.ToUpper(field(row, "gpu_type"))],
+			DType:      "FP16",
+			Pattern:    "gaussian(default)",
+			Size:       size,
+			Iterations: iters,
+		})
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fleet: alibaba trace has no usable rows")
+	}
+	for i := range jobs {
+		jobs[i].ArrivalS = (starts[i] - minStart) * alibabaArrivalScale
+	}
+	t := &Trace{Jobs: jobs}
+	if err := t.normalize(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

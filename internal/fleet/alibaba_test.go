@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func readAlibabaFixture(t *testing.T) *Trace {
+	t.Helper()
+	f, err := os.Open("testdata/alibaba_sample.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadAlibabaCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReadAlibabaCSV(t *testing.T) {
+	tr := readAlibabaFixture(t)
+	// 7 rows: one Failed and one zero-duration row drop, 5 remain.
+	if len(tr.Jobs) != 5 {
+		t.Fatalf("imported %d jobs, want 5", len(tr.Jobs))
+	}
+	byID := map[string]Job{}
+	for _, j := range tr.Jobs {
+		byID[j.ID] = j
+		if j.DType != "FP16" || j.Pattern != "gaussian(default)" {
+			t.Errorf("job %s: stub dtype/pattern mapping broken: %s %s", j.ID, j.DType, j.Pattern)
+		}
+	}
+
+	// First kept row: full V100 GPU, 3600 s duration, earliest start.
+	j := byID["openmpi-worker-0001"]
+	if j.Device != "V100-SXM2-32GB" || j.Size != 512 {
+		t.Errorf("openmpi-worker: device %q size %d, want V100 pin at 512", j.Device, j.Size)
+	}
+	if j.ArrivalS != 0 {
+		t.Errorf("openmpi-worker: arrival %v, want rebased 0", j.ArrivalS)
+	}
+	if j.Iterations != 3600*alibabaItersPerTraceS {
+		t.Errorf("openmpi-worker: iterations %d, want %d", j.Iterations, 3600*alibabaItersPerTraceS)
+	}
+
+	// Half-GPU T4 row: size 256, no preset for T4 so unpinned, arrival
+	// rebased and compressed from 20 s after the first row.
+	j = byID["pytorch-job-0002"]
+	if j.Device != "" || j.Size != 256 {
+		t.Errorf("pytorch-job: device %q size %d, want unpinned 256", j.Device, j.Size)
+	}
+	if j.ArrivalS != 20*alibabaArrivalScale {
+		t.Errorf("pytorch-job: arrival %v, want %v", j.ArrivalS, 20*alibabaArrivalScale)
+	}
+
+	// 25%-GPU row maps to the smallest GEMM.
+	if j = byID["resnet-eval-0005"]; j.Size != 128 {
+		t.Errorf("resnet-eval: size %d, want 128", j.Size)
+	}
+	// A100 pin.
+	if j = byID["llm-eval-0006"]; j.Device != "A100-PCIe-40GB" {
+		t.Errorf("llm-eval: device %q, want A100 pin", j.Device)
+	}
+	// Dropped rows must not appear.
+	for id := range byID {
+		if strings.HasPrefix(id, "tf-ps") || strings.HasPrefix(id, "zero-len") {
+			t.Errorf("row %s should have been dropped", id)
+		}
+	}
+}
+
+// TestAlibabaRoundTrip: an imported trace written with WriteTrace must
+// replay through ReadTrace to the identical normalized stream — the
+// property the -dump-trace/-trace pipeline depends on.
+func TestAlibabaRoundTrip(t *testing.T) {
+	tr := readAlibabaFixture(t)
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("WriteTrace/ReadTrace round-trip changed the imported trace")
+	}
+}
+
+// TestAlibabaTraceRuns: the imported stream must actually schedule on
+// a fleet containing the pinned models.
+func TestAlibabaTraceRuns(t *testing.T) {
+	tr := readAlibabaFixture(t)
+	r, err := Run(context.Background(), Config{
+		Devices: []*device.Device{device.V100SXM2(), device.A100PCIe()},
+		Oracle:  smallOracle(),
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != len(tr.Jobs) || r.Unfinished != 0 {
+		t.Fatalf("completed %d / unfinished %d of %d imported jobs", r.Completed, r.Unfinished, len(tr.Jobs))
+	}
+}
+
+func TestReadAlibabaCSVRejectsBadInput(t *testing.T) {
+	bad := map[string]string{
+		"empty":          "",
+		"missing column": "job_name,start_time,end_time\na,1,2\n",
+		"bad start_time": "start_time,end_time,gpu_type\nxx,2,V100\n",
+		"bad end_time":   "start_time,end_time,gpu_type\n1,xx,V100\n",
+		"bad plan_gpu":   "start_time,end_time,gpu_type,plan_gpu\n1,2,V100,xx\n",
+		"no usable rows": "start_time,end_time,gpu_type\n5,3,V100\n",
+		"ragged row":     "start_time,end_time,gpu_type\n1,2,V100,extra\n",
+	}
+	for name, in := range bad {
+		if _, err := ReadAlibabaCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}

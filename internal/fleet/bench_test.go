@@ -3,6 +3,8 @@ package fleet
 import (
 	"context"
 	"testing"
+
+	"repro/internal/sched"
 )
 
 // BenchmarkFleetRun times a full deterministic fleet simulation —
@@ -37,5 +39,51 @@ func BenchmarkFleetRun(b *testing.B) {
 		}, trace); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSchedule times the same capped fleet simulation under each
+// placement policy, one sub-benchmark per policy, so CI's benchdiff
+// gate catches a policy whose placement loop regresses fleet
+// throughput just like it catches engine regressions.
+func BenchmarkSchedule(b *testing.B) {
+	trace, err := Synthetic(SyntheticConfig{
+		Jobs:          64,
+		RatePerS:      400,
+		Seed:          7,
+		DTypes:        []string{"FP16"},
+		Patterns:      []string{"gaussian(default)", "constant(7)"},
+		Sizes:         []int{128, 256},
+		MinIterations: 2000,
+		MaxIterations: 8000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := &ModelOracle{SampleOutputs: 64}
+	// Warm the oracle once so every policy's sub-benchmark times the
+	// scheduler and integrator, not the first policy paying the whole
+	// simulation-chain fill.
+	if _, err := Run(context.Background(), Config{
+		Devices:   testFleet(),
+		Oracle:    oracle,
+		PowerCapW: 500,
+	}, trace); err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range sched.All() {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(context.Background(), Config{
+					Devices:   testFleet(),
+					Oracle:    oracle,
+					Policy:    p,
+					PowerCapW: 500,
+				}, trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

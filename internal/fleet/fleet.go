@@ -24,9 +24,9 @@ package fleet
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"repro/internal/device"
+	"repro/internal/sched"
 )
 
 // Config describes the simulated fleet and the integration controls.
@@ -37,6 +37,11 @@ type Config struct {
 	// Oracle supplies per-(device, job spec) operating points
 	// (nil = NewModelOracle, the offline simulation path).
 	Oracle Oracle
+	// Policy decides job placement (nil = sched.EarliestCompletion,
+	// the simulator's historical fixed behaviour). Policies observe
+	// per-instance backlog, temperature and the Oracle's operating
+	// point for the job on every eligible instance.
+	Policy sched.Policy
 	// PowerCapW is the aggregate fleet power budget in watts; when the
 	// sum of device demands exceeds it, every busy device's clocks are
 	// scaled down proportionally (reason "cap"). 0 disables the cap.
@@ -69,6 +74,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Oracle == nil {
 		c.Oracle = NewModelOracle()
+	}
+	if c.Policy == nil {
+		c.Policy = sched.EarliestCompletion{}
 	}
 	if c.TickS <= 0 {
 		c.TickS = 1e-3
@@ -154,6 +162,9 @@ func Run(ctx context.Context, cfg Config, trace *Trace) (*Report, error) {
 	}
 
 	sim := &simState{cfg: cfg, insts: insts, ops: ops}
+	for _, in := range insts {
+		sim.idleSumW += in.dev.IdleWatts
+	}
 	if err := sim.run(ctx, t); err != nil {
 		return nil, err
 	}
@@ -235,11 +246,43 @@ func resolveOperatingPoints(ctx context.Context, oracle Oracle, t *Trace, models
 	return ops, nil
 }
 
+// dynBacklogJ is the committed full-clock dynamic energy on the
+// instance: Σ (job power − idle floor) × remaining service over the
+// running and queued jobs. Recomputed exactly at each admission
+// instead of integrated, so scheduling heuristics never see drift.
+func (in *instance) dynBacklogJ() float64 {
+	var j float64
+	if in.cur != nil {
+		remaining := (float64(in.cur.job.Iterations) - in.doneIts) * in.cur.op.IterTimeS
+		if remaining > 0 {
+			j += (in.cur.op.PowerW - in.dev.IdleWatts) * remaining
+		}
+	}
+	for _, rj := range in.queue {
+		j += (rj.op.PowerW - in.dev.IdleWatts) * rj.serviceS
+	}
+	return j
+}
+
+// queued is the number of unfinished jobs placed on the instance.
+func (in *instance) queued() int {
+	n := len(in.queue)
+	if in.cur != nil {
+		n++
+	}
+	return n
+}
+
 // simState is the integration loop state.
 type simState struct {
-	cfg   Config
-	insts []*instance
-	ops   map[OpKey]OperatingPoint
+	cfg      Config
+	insts    []*instance
+	ops      map[OpKey]OperatingPoint
+	idleSumW float64
+
+	// candBuf/opBuf are admission scratch, reused across jobs.
+	candBuf []sched.Candidate
+	opBuf   []OperatingPoint
 
 	nowS       float64
 	peakFleetW float64
@@ -261,9 +304,10 @@ func (s *simState) run(ctx context.Context, t *Trace) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// Admit arrivals and hand each to the instance that would
-		// finish it earliest (current backlog plus the job's service
-		// time on that instance's model; ties break on fleet order).
+		// Admit arrivals: each is handed to the configured placement
+		// policy with a snapshot of every eligible instance's state
+		// (the default, sched.EarliestCompletion, picks the instance
+		// that would finish the job first; ties break on fleet order).
 		for next < len(t.Jobs) && t.Jobs[next].ArrivalS <= s.nowS {
 			s.admit(&t.Jobs[next])
 			next++
@@ -331,11 +375,11 @@ func (s *simState) run(ctx context.Context, t *Trace) error {
 	return nil
 }
 
-// admit assigns one arriving job to the best instance.
+// admit builds the scheduler-visible view of every eligible instance
+// and delegates the placement to the configured policy.
 func (s *simState) admit(j *Job) {
-	bestIdx := -1
-	bestEta := math.Inf(1)
-	var bestOp OperatingPoint
+	cands := s.candBuf[:0]
+	ops := s.opBuf[:0]
 	for i, in := range s.insts {
 		if j.Device != "" && in.dev.Name != j.Device {
 			continue
@@ -344,19 +388,54 @@ func (s *simState) admit(j *Job) {
 		if !ok {
 			continue
 		}
-		eta := in.backlogS + float64(j.Iterations)*op.IterTimeS
-		if eta < bestEta {
-			bestEta, bestIdx, bestOp = eta, i, op
-		}
+		cands = append(cands, sched.Candidate{
+			Index:           i,
+			Model:           in.dev.Name,
+			BacklogS:        in.backlogS,
+			Queued:          in.queued(),
+			QueueDynEnergyJ: in.dynBacklogJ(),
+			TempC:           in.tempC,
+			AmbientC:        in.ambient,
+			IdleW:           in.dev.IdleWatts,
+			RThermalCPerW:   in.dev.Thermal.RThermalCPerW,
+			ThrottleTempC:   in.dev.Thermal.ThrottleTempC,
+			IterTimeS:       op.IterTimeS,
+			PowerW:          op.PowerW,
+			PredictedW:      op.PredictedW,
+			Throttled:       op.Throttled,
+		})
+		ops = append(ops, op)
 	}
-	if bestIdx < 0 {
+	s.candBuf, s.opBuf = cands, ops
+	if len(cands) == 0 {
 		// Unreachable after resolveOperatingPoints validated pinning,
 		// but a dropped job must not vanish silently.
 		s.failed = append(s.failed, JobResult{ID: j.ID, Error: "no eligible device"})
 		return
 	}
-	in := s.insts[bestIdx]
-	rj := &runJob{job: j, op: bestOp, serviceS: float64(j.Iterations) * bestOp.IterTimeS}
+	pick := s.cfg.Policy.Place(sched.Job{
+		ID:         j.ID,
+		DType:      j.dt.String(),
+		Pattern:    j.Pattern,
+		Size:       j.Size,
+		ArrivalS:   j.ArrivalS,
+		Iterations: j.Iterations,
+	}, cands, sched.Fleet{
+		PowerCapW: s.cfg.PowerCapW,
+		IdleSumW:  s.idleSumW,
+		Instances: len(s.insts),
+		NowS:      s.nowS,
+	})
+	if pick < 0 || pick >= len(cands) {
+		s.failed = append(s.failed, JobResult{
+			ID:    j.ID,
+			Error: fmt.Sprintf("policy %s returned invalid placement %d for %d candidates", s.cfg.Policy.Name(), pick, len(cands)),
+		})
+		return
+	}
+	in := s.insts[cands[pick].Index]
+	op := ops[pick]
+	rj := &runJob{job: j, op: op, serviceS: float64(j.Iterations) * op.IterTimeS}
 	in.queue = append(in.queue, rj)
 	in.backlogS += rj.serviceS
 }

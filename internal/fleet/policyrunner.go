@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"context"
+
+	"repro/internal/sched"
+)
+
+// Outcome reduces the report to one sched front-table row under the
+// given policy name: the latency/energy/throttle axes an A/B
+// comparison trades between. The reduction is deterministic, so equal
+// reports give byte-identical front rows.
+func (r *Report) Outcome(policy string) sched.Outcome {
+	o := sched.Outcome{
+		Policy:         policy,
+		Jobs:           r.Jobs,
+		Completed:      r.Completed,
+		Unfinished:     r.Unfinished,
+		MakespanS:      r.DurationS,
+		LatencyMeanS:   r.LatencyMeanS,
+		LatencyP50S:    r.LatencyP50S,
+		LatencyP90S:    r.LatencyP90S,
+		LatencyP99S:    r.LatencyP99S,
+		LatencyMaxS:    r.LatencyMaxS,
+		FleetEnergyJ:   r.FleetEnergyJ,
+		AvgFleetW:      r.AvgFleetW,
+		PeakFleetW:     r.PeakFleetW,
+		ThrottleEvents: len(r.ThrottleEvents),
+	}
+	for _, d := range r.Devices {
+		o.CapThrottledS += d.CapThrottledS
+		o.ThermalThrottledS += d.ThermalThrottledS
+		if d.MaxTempC > o.MaxTempC {
+			o.MaxTempC = d.MaxTempC
+		}
+	}
+	return o
+}
+
+// PolicyRunner adapts one fixed (config, trace) pair into the
+// sched.Compare harness: each invocation replays the trace through the
+// simulator under the handed policy and reduces the report to a front
+// row. The config's own Policy field is ignored — Compare supplies the
+// policy per run. Sharing one memoized Oracle in cfg across the
+// comparison is safe and cheap: operating points depend only on keys,
+// never on placement, so every policy sees identical physics.
+func PolicyRunner(cfg Config, trace *Trace) sched.Runner {
+	return func(ctx context.Context, p sched.Policy) (sched.Outcome, error) {
+		c := cfg
+		c.Policy = p
+		r, err := Run(ctx, c, trace)
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		return r.Outcome(p.Name()), nil
+	}
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Outcome is one policy's row in a comparison front: the deterministic
+// reduction of a full simulation report to the latency/energy/throttle
+// axes an operator trades between. internal/fleet produces one from a
+// Report via Report.Outcome.
+type Outcome struct {
+	// Policy is the policy name the row belongs to.
+	Policy string `json:"policy"`
+
+	Jobs       int `json:"jobs"`
+	Completed  int `json:"completed"`
+	Unfinished int `json:"unfinished"`
+
+	// MakespanS is the simulated time until the last completion.
+	MakespanS float64 `json:"makespan_s"`
+
+	LatencyMeanS float64 `json:"latency_mean_s"`
+	LatencyP50S  float64 `json:"latency_p50_s"`
+	LatencyP90S  float64 `json:"latency_p90_s"`
+	LatencyP99S  float64 `json:"latency_p99_s"`
+	LatencyMaxS  float64 `json:"latency_max_s"`
+
+	FleetEnergyJ float64 `json:"fleet_energy_j"`
+	AvgFleetW    float64 `json:"avg_fleet_w"`
+	PeakFleetW   float64 `json:"peak_fleet_w"`
+
+	// ThrottleEvents counts contiguous throttled intervals across the
+	// fleet; CapThrottledS and ThermalThrottledS are the summed
+	// device-seconds spent under each limiter.
+	ThrottleEvents    int     `json:"throttle_events"`
+	CapThrottledS     float64 `json:"cap_throttled_s"`
+	ThermalThrottledS float64 `json:"thermal_throttled_s"`
+	// MaxTempC is the hottest die temperature any device reached.
+	MaxTempC float64 `json:"max_temp_c"`
+}
+
+// Front is an ordered set of policy outcomes over one replayed trace —
+// the exact A/B table the deterministic simulator makes possible:
+// every difference between rows is caused by placement alone.
+type Front struct {
+	// Outcomes holds one row per compared policy, in request order.
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// Runner executes one simulation of a fixed (config, trace) pair under
+// a policy and reduces it to an Outcome. internal/fleet provides the
+// canonical implementation (fleet.PolicyRunner); tests substitute
+// fakes. Runners must be deterministic: equal policies must yield
+// equal outcomes on every call.
+type Runner func(ctx context.Context, p Policy) (Outcome, error)
+
+// Compare replays the runner's trace through each policy in order and
+// collects the front. Duplicate policy names are rejected — a front
+// keyed on names must not have ambiguous rows — and any runner error
+// aborts the comparison.
+func Compare(ctx context.Context, run Runner, policies []Policy) (*Front, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("sched: no policies to compare")
+	}
+	seen := make(map[string]bool, len(policies))
+	f := &Front{Outcomes: make([]Outcome, 0, len(policies))}
+	for _, p := range policies {
+		if seen[p.Name()] {
+			return nil, fmt.Errorf("sched: duplicate policy %q in comparison", p.Name())
+		}
+		seen[p.Name()] = true
+		o, err := run(ctx, p)
+		if err != nil {
+			return nil, fmt.Errorf("sched: policy %s: %w", p.Name(), err)
+		}
+		o.Policy = p.Name()
+		f.Outcomes = append(f.Outcomes, o)
+	}
+	return f, nil
+}
+
+// ByPolicy returns the outcome row for a policy name, or false when
+// the front has no such row.
+func (f *Front) ByPolicy(name string) (Outcome, bool) {
+	for _, o := range f.Outcomes {
+		if o.Policy == name {
+			return o, true
+		}
+	}
+	return Outcome{}, false
+}
+
+// WriteJSON writes the front as indented JSON. The encoding is
+// deterministic: struct fields in declaration order, no maps.
+func (f *Front) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// frontHeader is the CSV column order, aligned with Outcome's fields.
+const frontHeader = "policy,jobs,completed,unfinished,makespan_s," +
+	"latency_mean_s,latency_p50_s,latency_p90_s,latency_p99_s,latency_max_s," +
+	"fleet_energy_j,avg_fleet_w,peak_fleet_w," +
+	"throttle_events,cap_throttled_s,thermal_throttled_s,max_temp_c"
+
+// WriteCSV writes the front as a CSV table, one row per policy, using
+// the same float formatting as the fleet timeline CSV so diffs between
+// committed fronts stay byte-exact.
+func (f *Front) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, frontHeader+"\n"); err != nil {
+		return err
+	}
+	for _, o := range f.Outcomes {
+		row := o.Policy +
+			"," + strconv.Itoa(o.Jobs) +
+			"," + strconv.Itoa(o.Completed) +
+			"," + strconv.Itoa(o.Unfinished) +
+			"," + fmtF(o.MakespanS) +
+			"," + fmtF(o.LatencyMeanS) +
+			"," + fmtF(o.LatencyP50S) +
+			"," + fmtF(o.LatencyP90S) +
+			"," + fmtF(o.LatencyP99S) +
+			"," + fmtF(o.LatencyMaxS) +
+			"," + fmtF(o.FleetEnergyJ) +
+			"," + fmtF(o.AvgFleetW) +
+			"," + fmtF(o.PeakFleetW) +
+			"," + strconv.Itoa(o.ThrottleEvents) +
+			"," + fmtF(o.CapThrottledS) +
+			"," + fmtF(o.ThermalThrottledS) +
+			"," + fmtF(o.MaxTempC)
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

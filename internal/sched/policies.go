@@ -1,0 +1,136 @@
+package sched
+
+import "math"
+
+// eta is the estimated completion time of the job on a candidate:
+// its current full-clock backlog plus the job's own service time.
+// This is exactly the quantity the fleet simulator minimized before
+// placement was extracted into this package, so EarliestCompletion
+// reproduces the historical scheduler bit-for-bit.
+func eta(job Job, c Candidate) float64 {
+	return c.BacklogS + float64(job.Iterations)*c.IterTimeS
+}
+
+// service is the job's full-clock service time on a candidate.
+func service(job Job, c Candidate) float64 {
+	return float64(job.Iterations) * c.IterTimeS
+}
+
+// EarliestCompletion places each job where it would finish first:
+// minimal backlog plus service time, ties broken toward the first
+// candidate. This is the fleet simulator's original fixed behaviour;
+// the golden equivalence test in internal/fleet proves the refactored
+// path reproduces the pre-extraction reports byte-for-byte.
+type EarliestCompletion struct{}
+
+// Name implements Policy.
+func (EarliestCompletion) Name() string { return "EarliestCompletion" }
+
+// Place implements Policy.
+func (EarliestCompletion) Place(job Job, cands []Candidate, _ Fleet) int {
+	best, bestEta := -1, math.Inf(1)
+	for i, c := range cands {
+		if e := eta(job, c); e < bestEta {
+			best, bestEta = i, e
+		}
+	}
+	return best
+}
+
+// PowerPack bin-packs jobs by dynamic power under an aggregate cap:
+// each job goes to the instance whose committed backlog's mean dynamic
+// draw is closest to the job's own, so power-hungry jobs pack onto the
+// same queues and *serialize* instead of running concurrently, while
+// cheap-bit jobs (sparse, sorted, LSB-zeroed encodings) fill the other
+// instances. Peak concurrent dynamic demand drops, so the cap governor
+// fires less often — fewer throttle events at some latency cost for
+// the hot jobs. Without a cap there is nothing to pack under and the
+// policy degrades to EarliestCompletion.
+type PowerPack struct{}
+
+// Name implements Policy.
+func (PowerPack) Name() string { return "PowerPack" }
+
+// Place implements Policy.
+func (PowerPack) Place(job Job, cands []Candidate, fleet Fleet) int {
+	if fleet.PowerCapW <= 0 {
+		return EarliestCompletion{}.Place(job, cands, fleet)
+	}
+	best := -1
+	bestScore, bestEta := math.Inf(1), math.Inf(1)
+	for i, c := range cands {
+		dyn := c.PowerW - c.IdleW
+		avg := 0.0
+		if c.BacklogS > 0 {
+			avg = c.QueueDynEnergyJ / c.BacklogS
+		}
+		// Affinity: distance between the job's dynamic draw and the
+		// backlog's mean dynamic draw. An empty instance has avg 0, so
+		// it attracts cheap jobs and repels hot ones once a hot queue
+		// exists.
+		score := math.Abs(avg - dyn)
+		e := eta(job, c)
+		if score < bestScore || (score == bestScore && e < bestEta) {
+			best, bestScore, bestEta = i, score, e
+		}
+	}
+	return best
+}
+
+// ThermalSpread places each job to minimize the chosen instance's
+// projected die temperature: the steady temperature its backlog (job
+// included) would hold, floored at the die's current temperature so an
+// already-hot instance stays unattractive even with a cheap queue.
+// Heat spreads across the fleet and the peak device temperature drops,
+// trading away the latency-optimal packing.
+type ThermalSpread struct{}
+
+// Name implements Policy.
+func (ThermalSpread) Name() string { return "ThermalSpread" }
+
+// Place implements Policy.
+func (ThermalSpread) Place(job Job, cands []Candidate, _ Fleet) int {
+	best := -1
+	bestScore, bestEta := math.Inf(1), math.Inf(1)
+	for i, c := range cands {
+		sv := service(job, c)
+		// Mean power over the backlog with this job appended, mapped
+		// through the thermal resistance to a steady die temperature.
+		dynJ := c.QueueDynEnergyJ + (c.PowerW-c.IdleW)*sv
+		meanW := c.IdleW + dynJ/(c.BacklogS+sv)
+		proj := c.AmbientC + meanW*c.RThermalCPerW
+		score := math.Max(proj, c.TempC)
+		e := eta(job, c)
+		if score < bestScore || (score == bestScore && e < bestEta) {
+			best, bestScore, bestEta = i, score, e
+		}
+	}
+	return best
+}
+
+// EnergyGreedy minimizes each job's predicted energy: the serving
+// model's predicted watts times the job's service time on the
+// candidate, i.e. the joules a deployed scheduler would expect the
+// placement to cost. On a heterogeneous fleet it concentrates work on
+// the most efficient silicon regardless of queue depth, cutting fleet
+// energy and stretching latency; on a homogeneous fleet every
+// candidate predicts the same joules and the eta tie-break recovers
+// EarliestCompletion.
+type EnergyGreedy struct{}
+
+// Name implements Policy.
+func (EnergyGreedy) Name() string { return "EnergyGreedy" }
+
+// Place implements Policy.
+func (EnergyGreedy) Place(job Job, cands []Candidate, _ Fleet) int {
+	best := -1
+	bestScore, bestEta := math.Inf(1), math.Inf(1)
+	for i, c := range cands {
+		score := c.PredictedW * service(job, c)
+		e := eta(job, c)
+		if score < bestScore || (score == bestScore && e < bestEta) {
+			best, bestScore, bestEta = i, score, e
+		}
+	}
+	return best
+}

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// cand builds a minimal candidate for unit placements.
+func cand(idx int, backlogS, iterTimeS, powerW float64) Candidate {
+	return Candidate{
+		Index:         idx,
+		Model:         "test",
+		BacklogS:      backlogS,
+		IdleW:         55,
+		AmbientC:      30,
+		TempC:         30,
+		RThermalCPerW: 0.155,
+		ThrottleTempC: 83,
+		IterTimeS:     iterTimeS,
+		PowerW:        powerW,
+		PredictedW:    powerW,
+	}
+}
+
+func TestEarliestCompletionPicksMinEta(t *testing.T) {
+	job := Job{ID: "j", Iterations: 1000}
+	cands := []Candidate{
+		cand(0, 0.5, 1e-3, 80), // eta 1.5
+		cand(1, 0.0, 1e-3, 80), // eta 1.0 — winner
+		cand(2, 0.0, 2e-3, 80), // eta 2.0
+	}
+	if got := (EarliestCompletion{}).Place(job, cands, Fleet{}); got != 1 {
+		t.Errorf("placed on %d, want 1", got)
+	}
+	// Ties break toward the first candidate.
+	tied := []Candidate{cand(0, 0, 1e-3, 80), cand(1, 0, 1e-3, 80)}
+	if got := (EarliestCompletion{}).Place(job, tied, Fleet{}); got != 0 {
+		t.Errorf("tie placed on %d, want 0", got)
+	}
+}
+
+func TestPowerPackAffinity(t *testing.T) {
+	job := Job{ID: "hot", Iterations: 1000}
+	fleet := Fleet{PowerCapW: 300, IdleSumW: 110, Instances: 2}
+	// Instance 0 has a hot backlog (mean dyn 30 W); instance 1 is
+	// empty. A 85 W (dyn 30) job must join the hot queue even though
+	// the empty instance would finish it sooner; a 60 W (dyn 5) job
+	// must take the empty instance.
+	hotQueue := cand(0, 1.0, 1e-3, 85)
+	hotQueue.QueueDynEnergyJ = 30.0 // 30 W mean over 1 s backlog
+	empty := cand(1, 0, 1e-3, 85)
+	if got := (PowerPack{}).Place(job, []Candidate{hotQueue, empty}, fleet); got != 0 {
+		t.Errorf("hot job placed on %d, want the hot queue 0", got)
+	}
+	hotQueueCheap := hotQueue
+	hotQueueCheap.PowerW = 60
+	emptyCheap := empty
+	emptyCheap.PowerW = 60
+	if got := (PowerPack{}).Place(job, []Candidate{hotQueueCheap, emptyCheap}, fleet); got != 1 {
+		t.Errorf("cheap job placed on %d, want the empty instance 1", got)
+	}
+	// Uncapped, PowerPack degrades to EarliestCompletion: the empty
+	// instance wins on eta regardless of affinity.
+	if got := (PowerPack{}).Place(job, []Candidate{hotQueue, empty}, Fleet{}); got != 1 {
+		t.Errorf("uncapped hot job placed on %d, want earliest completion 1", got)
+	}
+}
+
+func TestThermalSpreadPrefersCool(t *testing.T) {
+	job := Job{ID: "j", Iterations: 1000}
+	hot := cand(0, 0, 1e-3, 85)
+	hot.TempC = 70
+	cool := cand(1, 0.5, 1e-3, 85) // worse eta, but cool
+	if got := (ThermalSpread{}).Place(job, []Candidate{hot, cool}, Fleet{}); got != 1 {
+		t.Errorf("placed on %d, want the cool instance 1", got)
+	}
+}
+
+func TestEnergyGreedyPrefersEfficientModel(t *testing.T) {
+	job := Job{ID: "j", Iterations: 1000}
+	// Same service time, lower predicted watts on candidate 1 — but
+	// candidate 1 has a deep queue. EnergyGreedy ignores the queue.
+	inefficient := cand(0, 0, 1e-3, 90)
+	efficient := cand(1, 5.0, 1e-3, 70)
+	if got := (EnergyGreedy{}).Place(job, []Candidate{inefficient, efficient}, Fleet{}); got != 1 {
+		t.Errorf("placed on %d, want the efficient model 1", got)
+	}
+	// Equal predictions: the eta tie-break recovers EarliestCompletion.
+	a, b := cand(0, 1.0, 1e-3, 80), cand(1, 0, 1e-3, 80)
+	if got := (EnergyGreedy{}).Place(job, []Candidate{a, b}, Fleet{}); got != 1 {
+		t.Errorf("tie placed on %d, want earliest completion 1", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("expected 4 built-in policies, have %v", names)
+	}
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != n {
+			t.Errorf("ByName(%q) returned %q", n, p.Name())
+		}
+		// Case-insensitive resolution for CLI ergonomics.
+		if _, err := ByName(strings.ToLower(n)); err != nil {
+			t.Errorf("ByName(%q): %v", strings.ToLower(n), err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "EarliestCompletion") {
+		t.Errorf("unknown policy error must list valid names, got %v", err)
+	}
+}
+
+// fakeRunner returns deterministic outcomes keyed on the policy name.
+func fakeRunner(calls *[]string) Runner {
+	return func(_ context.Context, p Policy) (Outcome, error) {
+		*calls = append(*calls, p.Name())
+		return Outcome{
+			Jobs:           10,
+			Completed:      10,
+			MakespanS:      float64(len(p.Name())),
+			FleetEnergyJ:   100,
+			ThrottleEvents: len(p.Name()) % 3,
+		}, nil
+	}
+}
+
+func TestCompare(t *testing.T) {
+	var calls []string
+	front, err := Compare(context.Background(), fakeRunner(&calls), []Policy{EarliestCompletion{}, PowerPack{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front.Outcomes) != 2 {
+		t.Fatalf("front has %d rows", len(front.Outcomes))
+	}
+	// Rows carry the policy name in request order, and the runner ran
+	// once per policy.
+	if front.Outcomes[0].Policy != "EarliestCompletion" || front.Outcomes[1].Policy != "PowerPack" {
+		t.Errorf("row order: %s, %s", front.Outcomes[0].Policy, front.Outcomes[1].Policy)
+	}
+	if len(calls) != 2 {
+		t.Errorf("runner ran %d times", len(calls))
+	}
+	if o, ok := front.ByPolicy("PowerPack"); !ok || o.MakespanS != float64(len("PowerPack")) {
+		t.Errorf("ByPolicy(PowerPack) = %+v, %v", o, ok)
+	}
+	if _, ok := front.ByPolicy("absent"); ok {
+		t.Error("ByPolicy on an absent row must report false")
+	}
+
+	// Duplicate policies make the name-keyed front ambiguous.
+	if _, err := Compare(context.Background(), fakeRunner(&calls), []Policy{PowerPack{}, PowerPack{}}); err == nil {
+		t.Error("duplicate policies must be rejected")
+	}
+	// Empty comparisons are a caller bug.
+	if _, err := Compare(context.Background(), fakeRunner(&calls), nil); err == nil {
+		t.Error("empty policy list must be rejected")
+	}
+	// A runner error aborts and names the failing policy.
+	boom := func(context.Context, Policy) (Outcome, error) { return Outcome{}, fmt.Errorf("boom") }
+	if _, err := Compare(context.Background(), boom, []Policy{PowerPack{}}); err == nil || !strings.Contains(err.Error(), "PowerPack") {
+		t.Errorf("runner error must name the policy, got %v", err)
+	}
+}
+
+func TestFrontSerialization(t *testing.T) {
+	var calls []string
+	front, err := Compare(context.Background(), fakeRunner(&calls), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j1, j2, c1, c2 bytes.Buffer
+	for _, pair := range []struct {
+		j, c *bytes.Buffer
+	}{{&j1, &c1}, {&j2, &c2}} {
+		if err := front.WriteJSON(pair.j); err != nil {
+			t.Fatal(err)
+		}
+		if err := front.WriteCSV(pair.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) || !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatal("front serialization is not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(c1.String()), "\n")
+	if len(lines) != 1+len(All()) {
+		t.Fatalf("CSV has %d lines, want header + %d rows", len(lines), len(All()))
+	}
+	wantCols := len(strings.Split(frontHeader, ","))
+	for i, line := range lines {
+		if got := len(strings.Split(line, ",")); got != wantCols {
+			t.Errorf("CSV line %d has %d columns, want %d", i, got, wantCols)
+		}
+	}
+	for i, p := range All() {
+		if !strings.HasPrefix(lines[i+1], p.Name()+",") {
+			t.Errorf("CSV row %d = %q, want policy %s first", i+1, lines[i+1], p.Name())
+		}
+	}
+	if !strings.Contains(j1.String(), `"throttle_events"`) {
+		t.Error("JSON front lacks throttle_events field")
+	}
+}
