@@ -1,14 +1,19 @@
 // Command benchdiff compares two `go test -json` benchmark event
 // streams (the BENCH_<sha>.json artifacts CI produces) and fails when
-// any benchmark matching the filter regressed in wall time by more than
-// the threshold. It is the regression gate of the CI bench pipeline:
+// any benchmark matching the filter regressed by more than the
+// threshold. It is the regression gate of the CI bench pipeline:
 //
 //	benchdiff -threshold 25 old.json new.json
 //
 // exits 1 if any matched benchmark in new.json is more than 25% slower
-// than the same benchmark in old.json. Benchmarks present on only one
-// side are reported but never fail the gate (new benchmarks appear,
-// old ones are removed — neither is a regression).
+// than the same benchmark in old.json, in wall time (ns/op) or — when
+// both streams were produced with -benchmem — in allocations
+// (allocs/op). An allocation count going from zero to nonzero is an
+// unconditional regression: no percentage can describe losing an
+// allocation-free fast path. Streams without allocation data (old
+// artifacts predating -benchmem) gate on wall time alone. Benchmarks
+// present on only one side are reported but never fail the gate (new
+// benchmarks appear, old ones are removed — neither is a regression).
 package main
 
 import (
@@ -27,10 +32,12 @@ import (
 // 37447200 ns/op\t...") arrives in an output event whose Test field
 // names the benchmark; in plain `go test -bench` output the name leads
 // the line. Both shapes are accepted. The -cpu suffix (BenchmarkFoo-8)
-// is stripped into the base name.
+// is stripped into the base name. With -benchmem the line carries
+// trailing "B/op" and "allocs/op" figures; allocsRe lifts the latter.
 var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
-	measLine  = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)`)
+	measLine  = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op(.*)`)
+	allocsRe  = regexp.MustCompile(`([0-9.]+) allocs/op`)
 	cpuSuffix = regexp.MustCompile(`-\d+$`)
 )
 
@@ -40,16 +47,35 @@ type testEvent struct {
 	Output string `json:"Output"`
 }
 
-// parse extracts benchmark name → ns/op from a `go test -json` stream.
-// Repeated runs of one benchmark keep the last measurement.
-func parse(path string) (map[string]float64, error) {
+// meas is one benchmark's measurements. HasAllocs distinguishes "ran
+// without -benchmem" from "allocated nothing", so the gate never
+// invents an allocation regression against a stream that simply did
+// not record allocations.
+type meas struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
+
+// parse extracts benchmark name → measurement from a `go test -json`
+// stream. Repeated runs of one benchmark keep the last measurement.
+func parse(path string) (map[string]meas, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 
-	out := map[string]float64{}
+	out := map[string]meas{}
+	record := func(name, nsStr, rest string) {
+		var m meas
+		fmt.Sscanf(nsStr, "%g", &m.ns)
+		if am := allocsRe.FindStringSubmatch(rest); am != nil {
+			fmt.Sscanf(am[1], "%g", &m.allocs)
+			m.hasAllocs = true
+		}
+		out[name] = m
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -62,16 +88,12 @@ func parse(path string) (map[string]float64, error) {
 			continue
 		}
 		if m := benchLine.FindStringSubmatch(ev.Output); m != nil {
-			var ns float64
-			fmt.Sscanf(m[2], "%g", &ns)
-			out[m[1]] = ns
+			record(m[1], m[2], m[3])
 			continue
 		}
 		if strings.HasPrefix(ev.Test, "Benchmark") {
 			if m := measLine.FindStringSubmatch(ev.Output); m != nil {
-				var ns float64
-				fmt.Sscanf(m[1], "%g", &ns)
-				out[cpuSuffix.ReplaceAllString(ev.Test, "")] = ns
+				record(cpuSuffix.ReplaceAllString(ev.Test, ""), m[1], m[2])
 			}
 		}
 	}
@@ -89,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		threshold = fs.Float64("threshold", 25, "fail when a benchmark slows down by more than this percentage")
+		threshold = fs.Float64("threshold", 25, "fail when a benchmark regresses by more than this percentage")
 		filter    = fs.String("filter", `^BenchmarkFig`, "regexp of benchmark names the gate applies to")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -129,18 +151,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if gate(old, cur, *threshold, filterRe, stdout) {
-		fmt.Fprintf(stdout, "\nbenchdiff: wall-time regression beyond %.0f%% detected\n", *threshold)
+		fmt.Fprintf(stdout, "\nbenchdiff: regression beyond %.0f%% detected\n", *threshold)
 		return 1
 	}
 	fmt.Fprintln(stdout, "\nbenchdiff: within threshold")
 	return 0
 }
 
+// allocsCell renders an allocs/op figure, or "-" for streams recorded
+// without -benchmem.
+func allocsCell(m meas) string {
+	if !m.hasAllocs {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", m.allocs)
+}
+
 // gate prints the comparison table and reports whether any benchmark
 // matching the filter regressed by strictly more than threshold
-// percent (a delta of exactly the threshold passes). Benchmarks on
+// percent (a delta of exactly the threshold passes) in either wall
+// time or allocations. Allocations gate only when both sides recorded
+// them; a zero→nonzero allocation count always fails. Benchmarks on
 // only one side are reported but never fail the gate.
-func gate(old, cur map[string]float64, threshold float64, filterRe *regexp.Regexp, w io.Writer) bool {
+func gate(old, cur map[string]meas, threshold float64, filterRe *regexp.Regexp, w io.Writer) bool {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		names = append(names, name)
@@ -148,21 +181,45 @@ func gate(old, cur map[string]float64, threshold float64, filterRe *regexp.Regex
 	sort.Strings(names)
 
 	failed := false
-	fmt.Fprintf(w, "%-36s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-36s %12s %12s %8s %11s %11s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	for _, name := range names {
-		newNs := cur[name]
-		oldNs, ok := old[name]
+		newM := cur[name]
+		oldM, ok := old[name]
 		if !ok {
-			fmt.Fprintf(w, "%-36s %12s %12.0f %8s\n", name, "-", newNs, "new")
+			fmt.Fprintf(w, "%-36s %12s %12.0f %8s %11s %11s %8s\n",
+				name, "-", newM.ns, "new", "-", allocsCell(newM), "")
 			continue
 		}
-		delta := 100 * (newNs - oldNs) / oldNs
+		gated := filterRe.MatchString(name)
+		delta := 100 * (newM.ns - oldM.ns) / oldM.ns
 		mark := ""
-		if filterRe.MatchString(name) && delta > threshold {
-			mark = "  REGRESSION"
+		if gated && delta > threshold {
+			mark = "  REGRESSION(time)"
 			failed = true
 		}
-		fmt.Fprintf(w, "%-36s %12.0f %12.0f %+7.1f%%%s\n", name, oldNs, newNs, delta, mark)
+		allocsDelta := ""
+		if oldM.hasAllocs && newM.hasAllocs {
+			switch {
+			case oldM.allocs == 0 && newM.allocs == 0:
+				allocsDelta = "+0.0%"
+			case oldM.allocs == 0:
+				allocsDelta = "+inf%"
+				if gated {
+					mark += "  REGRESSION(allocs)"
+					failed = true
+				}
+			default:
+				ad := 100 * (newM.allocs - oldM.allocs) / oldM.allocs
+				allocsDelta = fmt.Sprintf("%+.1f%%", ad)
+				if gated && ad > threshold {
+					mark += "  REGRESSION(allocs)"
+					failed = true
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-36s %12.0f %12.0f %+7.1f%% %11s %11s %8s%s\n",
+			name, oldM.ns, newM.ns, delta, allocsCell(oldM), allocsCell(newM), allocsDelta, mark)
 	}
 	gone := make([]string, 0)
 	for name := range old {
@@ -172,7 +229,8 @@ func gate(old, cur map[string]float64, threshold float64, filterRe *regexp.Regex
 	}
 	sort.Strings(gone)
 	for _, name := range gone {
-		fmt.Fprintf(w, "%-36s %12.0f %12s %8s\n", name, old[name], "-", "gone")
+		fmt.Fprintf(w, "%-36s %12.0f %12s %8s %11s %11s %8s\n",
+			name, old[name].ns, "-", "gone", allocsCell(old[name]), "-", "")
 	}
 	return failed
 }

@@ -21,6 +21,7 @@
 // (latency/energy/throttle axes, JSON or CSV):
 //
 //	fleetsim -policy PowerPack -cap 310 -jobs 256 -seed 1
+//	fleetsim -policy PredictiveHorizon -window 30 -cap 310 -jobs 256 -seed 1
 //	fleetsim -compare EarliestCompletion,PowerPack -cap 310 -jobs 256 -seed 1 -format csv
 //
 // -serve accepts a powerserve or a powerrouter base URL — the sharded
@@ -33,8 +34,9 @@
 //
 // Flag combinations are validated strictly: synthetic-workload flags
 // (-jobs, -rate, -seed, -sizes, -dtypes, -patterns, -dump-trace)
-// conflict with -trace, and -policy or -samples conflict with
-// -compare. Invalid combinations fail loudly with usage text instead
+// conflict with -trace, -policy or -samples conflict with -compare,
+// and -window requires PredictiveHorizon to be among the selected
+// policies. Invalid combinations fail loudly with usage text instead
 // of being silently ignored.
 package main
 
@@ -65,6 +67,7 @@ func main() {
 		ambient     = flag.Float64("ambient", 0, "rack inlet temperature °C override (0 = device presets)")
 		tick        = flag.Float64("tick", 1e-3, "integration step, seconds")
 		horizon     = flag.Float64("horizon", 300, "abort unfinished runs at this simulated time, seconds")
+		window      = flag.Float64("window", sched.DefaultHorizonWindowS, "PredictiveHorizon projection window, seconds")
 		serveURL    = flag.String("serve", "", "resolve operating points via this powerserve base URL's /predict/batch (default: in-process model oracle)")
 		policyFlag  = flag.String("policy", "EarliestCompletion", "scheduling policy: "+strings.Join(sched.Names(), ", "))
 		compareFlag = flag.String("compare", "", "comma-separated policies to A/B on one trace; emits a front table instead of a report")
@@ -100,8 +103,20 @@ func main() {
 	if *format != "json" && *format != "csv" {
 		fatalUsage(fmt.Errorf("unknown format %q (json or csv)", *format))
 	}
+	if set["window"] {
+		if *window <= 0 {
+			fatalUsage(fmt.Errorf("-window must be positive (a zero window degrades PredictiveHorizon to PowerPack; just pick that policy)"))
+		}
+		selected := *policyFlag
+		if set["compare"] {
+			selected = *compareFlag
+		}
+		if !strings.Contains(strings.ToLower(selected), "predictivehorizon") {
+			fatalUsage(fmt.Errorf("-window only applies to the PredictiveHorizon policy, which is not selected"))
+		}
+	}
 
-	devs, err := parseDevices(*devicesFlag)
+	devs, err := device.ParseSpec(*devicesFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -183,6 +198,9 @@ func main() {
 		if err != nil {
 			fatalUsage(err)
 		}
+		for i, p := range policies {
+			policies[i] = applyWindow(p, *window)
+		}
 		front, err := sched.Compare(context.Background(), fleet.PolicyRunner(cfg, trace), policies)
 		if err != nil {
 			fatal(err)
@@ -217,6 +235,7 @@ func main() {
 	if err != nil {
 		fatalUsage(err)
 	}
+	policy = applyWindow(policy, *window)
 	cfg.Policy = policy
 
 	report, err := fleet.Run(context.Background(), cfg, trace)
@@ -264,34 +283,13 @@ func parsePolicies(spec string) ([]sched.Policy, error) {
 	return policies, nil
 }
 
-// parseDevices expands "A100-PCIe-40GB:2,H100-SXM5-80GB:1" into device
-// instances. A bare model name means count 1.
-func parseDevices(spec string) ([]*device.Device, error) {
-	var devs []*device.Device
-	for _, part := range splitList(spec, ",") {
-		name, count := part, 1
-		if i := strings.LastIndex(part, ":"); i >= 0 {
-			name = strings.TrimSpace(part[:i])
-			n, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
-			if err != nil || n < 1 {
-				return nil, fmt.Errorf("fleetsim: bad device count in %q", part)
-			}
-			count = n
-		}
-		proto := device.ByName(name)
-		if proto == nil {
-			return nil, fmt.Errorf("fleetsim: unknown device %q (have %v)", name, device.Names())
-		}
-		for i := 0; i < count; i++ {
-			// Fresh value per instance: device presets are constructors,
-			// so each call already returns an independent struct.
-			devs = append(devs, device.ByName(name))
-		}
+// applyWindow rebinds a PredictiveHorizon policy to the -window flag;
+// every other policy passes through untouched.
+func applyWindow(p sched.Policy, windowS float64) sched.Policy {
+	if _, ok := p.(sched.PredictiveHorizon); ok {
+		return sched.PredictiveHorizon{WindowS: windowS}
 	}
-	if len(devs) == 0 {
-		return nil, fmt.Errorf("fleetsim: empty device spec")
-	}
-	return devs, nil
+	return p
 }
 
 func splitList(s, sep string) []string {

@@ -1,0 +1,43 @@
+package device
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec expands a fleet spec like "A100-PCIe-40GB:2,H100-SXM5-80GB"
+// into device instances: comma-separated model:count pairs, where a
+// bare model name means count 1. Every CLI that takes a fleet
+// (cmd/fleetsim, cmd/fleetctl) shares this grammar, so a live
+// controller and an offline replay describe the same fleet with the
+// same string. Each instance is an independent struct — presets are
+// constructors, so mutating one board never aliases another.
+func ParseSpec(spec string) ([]*Device, error) {
+	var devs []*Device
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, count := part, 1
+		if i := strings.LastIndex(part, ":"); i >= 0 {
+			name = strings.TrimSpace(part[:i])
+			n, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("device: bad count in %q", part)
+			}
+			count = n
+		}
+		if ByName(name) == nil {
+			return nil, fmt.Errorf("device: unknown device %q (have %v)", name, Names())
+		}
+		for i := 0; i < count; i++ {
+			devs = append(devs, ByName(name))
+		}
+	}
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("device: empty fleet spec")
+	}
+	return devs, nil
+}

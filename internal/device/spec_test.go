@@ -1,0 +1,35 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	devs, err := ParseSpec("A100-PCIe-40GB:2, H100-SXM5-80GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 3 {
+		t.Fatalf("parsed %d devices, want 3", len(devs))
+	}
+	if devs[0].Name != "A100-PCIe-40GB" || devs[1].Name != "A100-PCIe-40GB" || devs[2].Name != "H100-SXM5-80GB" {
+		t.Errorf("devices = %s, %s, %s", devs[0].Name, devs[1].Name, devs[2].Name)
+	}
+	if devs[0] == devs[1] {
+		t.Error("instances of one model must be independent structs, not aliases")
+	}
+
+	for _, bad := range []struct{ spec, want string }{
+		{"", "empty fleet spec"},
+		{" , ", "empty fleet spec"},
+		{"A100-PCIe-40GB:0", "bad count"},
+		{"A100-PCIe-40GB:x", "bad count"},
+		{"A100-PCIe-40GB:-1", "bad count"},
+		{"TPU-v5:2", "unknown device"},
+	} {
+		if _, err := ParseSpec(bad.spec); err == nil || !strings.Contains(err.Error(), bad.want) {
+			t.Errorf("ParseSpec(%q) = %v, want error containing %q", bad.spec, err, bad.want)
+		}
+	}
+}

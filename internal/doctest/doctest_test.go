@@ -1,0 +1,76 @@
+package doctest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "doc.md")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBindsBodiesToMarkers(t *testing.T) {
+	doc := `# API
+
+<!-- roundtrip POST /predict 200 -->
+` + "```json\n" + `{"size": 128}
+` + "```\n" + `
+Illustrative response, not executed:
+
+` + "```json\n" + `{"predicted_w": 56}
+` + "```\n" + `
+<!-- roundtrip GET /healthz 200 -->
+
+## Next section
+
+<!-- roundtrip GET /metrics 405 -->
+`
+	got, err := Parse(write(t, doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d examples, want 3: %+v", len(got), got)
+	}
+	if got[0].Method != "POST" || got[0].Path != "/predict" || got[0].Status != 200 || got[0].Body != "{\"size\": 128}\n" {
+		t.Errorf("example 0 = %+v", got[0])
+	}
+	if got[1].Method != "GET" || got[1].Path != "/healthz" || got[1].Body != "" {
+		t.Errorf("body-less GET before a heading = %+v (unmarked block must not bind)", got[1])
+	}
+	if got[2].Path != "/metrics" || got[2].Status != 405 || got[2].Line == 0 {
+		t.Errorf("trailing marker at EOF = %+v", got[2])
+	}
+}
+
+func TestParseConsecutiveMarkers(t *testing.T) {
+	doc := `<!-- roundtrip GET /a 200 -->
+<!-- roundtrip GET /b 404 -->
+` + "```json\n" + `{"x": 1}
+` + "```\n"
+	got, err := Parse(write(t, doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d examples, want 2: %+v", len(got), got)
+	}
+	if got[0].Path != "/a" || got[0].Body != "" {
+		t.Errorf("first of consecutive markers must flush body-less: %+v", got[0])
+	}
+	if got[1].Path != "/b" || got[1].Body == "" {
+		t.Errorf("block binds to the nearest marker: %+v", got[1])
+	}
+}
+
+func TestParseMissingFile(t *testing.T) {
+	if _, err := Parse(filepath.Join(t.TempDir(), "absent.md")); err == nil {
+		t.Fatal("parsing a missing file must error")
+	}
+}

@@ -1,14 +1,11 @@
-package serve
+package fleet
 
-// apidoc_test executes the powerserve half of docs/API.md: every
-// `<!-- roundtrip METHOD PATH STATUS -->` marker (optionally followed
-// by a fenced ```json request body) is sent through the real handler
-// and its status code is asserted. Editing the docs to show a request
-// the server no longer accepts — or an error code it no longer
-// returns — fails this test. The fleetctl control-plane examples in
-// the same document are executed by internal/fleet's apidoc test
-// (serve cannot import fleet — fleet imports serve), so the split
-// here is by path prefix.
+// apidoc_test executes the fleetctl half of docs/API.md: the
+// `<!-- roundtrip -->` examples under /jobs and /fleet run in document
+// order against a real Controller handler, so the control-plane
+// section cannot drift from the code. The powerserve half of the same
+// document is executed by internal/serve's apidoc test; the split is
+// here because serve cannot import fleet (fleet imports serve).
 
 import (
 	"bytes"
@@ -18,42 +15,45 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/doctest"
 )
 
-// isControlPlanePath reports whether a documented path belongs to the
-// fleetctl controller rather than powerserve.
-func isControlPlanePath(p string) bool {
-	return strings.HasPrefix(p, "/jobs") || strings.HasPrefix(p, "/fleet")
-}
-
-func TestAPIDocExamplesRoundTrip(t *testing.T) {
+func TestControlPlaneDocExamplesRoundTrip(t *testing.T) {
 	all, err := doctest.Parse("../../docs/API.md")
 	if err != nil {
 		t.Fatalf("parse docs/API.md: %v (the API doc must exist and ship with the repo)", err)
 	}
 	var examples []doctest.Example
 	for _, ex := range all {
-		if !isControlPlanePath(ex.Path) {
+		if strings.HasPrefix(ex.Path, "/jobs") || strings.HasPrefix(ex.Path, "/fleet") {
 			examples = append(examples, ex)
 		}
 	}
-	// The doc currently carries 12 executable powerserve examples; a
-	// rewrite that loses markers should have to say so here.
-	if len(examples) < 10 {
-		t.Fatalf("found only %d powerserve roundtrip examples in docs/API.md, want ≥ 10", len(examples))
+	if len(examples) < 6 {
+		t.Fatalf("found only %d control-plane roundtrip examples in docs/API.md, want ≥ 6", len(examples))
 	}
 
-	s := New(testConfig())
-	defer s.Close()
-	ts := httptest.NewServer(s.Handler())
+	ctl, err := NewController(liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ts := httptest.NewServer(ctl.Handler())
 	defer ts.Close()
 
 	covered := map[string]bool{}
 	for _, ex := range examples {
 		name := ex.Method + " " + ex.Path + " line " + strconv.Itoa(ex.Line)
 		covered[ex.Method+" "+ex.Path] = true
+
+		// The report endpoint answers 409 until the fleet drains; the
+		// documented 200 example therefore waits for the drain the way
+		// a real client would.
+		if ex.Path == "/fleet/report" && ex.Status == http.StatusOK {
+			waitDrained(t, ts.URL)
+		}
 
 		var req *http.Request
 		var err error
@@ -97,51 +97,58 @@ func TestAPIDocExamplesRoundTrip(t *testing.T) {
 			continue
 		}
 		// Spot-check the documented success shapes.
-		switch ex.Path {
-		case "/predict":
-			for _, k := range []string{"predicted_w", "simulated_w", "pattern", "features"} {
+		switch {
+		case ex.Path == "/jobs" && ex.Method == http.MethodPost:
+			for _, k := range []string{"id", "arrival_s"} {
 				if _, ok := payload[k]; !ok {
 					t.Errorf("%s: response missing documented field %q", name, k)
 				}
 			}
-		case "/predict/batch":
-			items, ok := payload["items"].([]any)
-			if !ok || len(items) == 0 {
-				t.Errorf("%s: response missing documented items", name)
-			}
-			for _, k := range []string{"distinct", "coalesced"} {
+		case strings.HasPrefix(ex.Path, "/jobs/"):
+			for _, k := range []string{"id", "status"} {
 				if _, ok := payload[k]; !ok {
 					t.Errorf("%s: response missing documented field %q", name, k)
 				}
 			}
-		case "/train":
-			for _, k := range []string{"weights_pj", "r2", "samples", "purged"} {
+		case ex.Path == "/fleet/status":
+			for _, k := range []string{"now_s", "state", "drained", "metrics", "instances"} {
 				if _, ok := payload[k]; !ok {
 					t.Errorf("%s: response missing documented field %q", name, k)
 				}
 			}
-		case "/healthz":
-			for _, k := range []string{"status", "devices", "dtypes", "metrics"} {
-				if _, ok := payload[k]; !ok {
-					t.Errorf("%s: response missing documented field %q", name, k)
-				}
+		case ex.Path == "/fleet/trace":
+			if _, ok := payload["jobs"].([]any); !ok {
+				t.Errorf("%s: trace response missing documented jobs array", name)
 			}
-		case "/metrics":
-			for _, k := range []string{"metrics", "cache_hit_rate"} {
+		case ex.Path == "/fleet/report":
+			for _, k := range []string{"jobs", "completed", "devices", "oracle"} {
 				if _, ok := payload[k]; !ok {
 					t.Errorf("%s: response missing documented field %q", name, k)
 				}
 			}
 		}
+		// Give the virtual-time loop a moment between examples so a
+		// documented sequence (submit, then inspect) behaves as prose
+		// describes; drains are awaited explicitly above.
+		time.Sleep(time.Millisecond)
 	}
 
-	// Every endpoint must have at least one executable success example
-	// and the POST endpoints at least one documented failure.
+	// The documented sequence must cover every control-plane endpoint,
+	// with at least one failure example for the POST endpoint.
 	for _, want := range []string{
-		"POST /predict", "POST /predict/batch", "POST /train", "GET /healthz", "GET /metrics",
+		"POST /jobs", "GET /fleet/status", "GET /fleet/trace", "GET /fleet/report",
 	} {
 		if !covered[want] {
 			t.Errorf("docs/API.md has no roundtrip example for %s", want)
 		}
+	}
+	foundJobGet := false
+	for k := range covered {
+		if strings.HasPrefix(k, "GET /jobs/") {
+			foundJobGet = true
+		}
+	}
+	if !foundJobGet {
+		t.Error("docs/API.md has no roundtrip example for GET /jobs/{id}")
 	}
 }

@@ -16,6 +16,13 @@
 // queued jobs costs one simulation per distinct (device, dtype,
 // pattern, size) key.
 //
+// The integration core is the event-driven Engine (engine.go): Run
+// wraps it for offline trace replay, and Controller (live.go) wraps
+// the same engine as a long-running HTTP control plane that admits
+// jobs as they arrive. Because both paths share one engine and the
+// controller stamps arrivals with simulated time, a live session's
+// recorded trace replays offline to a byte-identical report.
+//
 // Everything is deterministic: equal configs and traces produce
 // byte-identical reports. There is no wall clock, no map-order
 // dependence and no unseeded randomness anywhere in the loop.
@@ -27,6 +34,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/sched"
+	"repro/internal/serve"
 )
 
 // Config describes the simulated fleet and the integration controls.
@@ -63,7 +71,8 @@ type Config struct {
 	// (default 2 s).
 	ThermalTauS float64
 	// HorizonS aborts the simulation if jobs are still unfinished at
-	// this time (default 300 s).
+	// this time (default 300 s). A long-running controller sets this
+	// far beyond any expected session length.
 	HorizonS float64
 	// RecordSamples keeps the full telemetry timeline in the report
 	// (Report.Samples); off by default because long runs produce many
@@ -95,7 +104,7 @@ func (c Config) withDefaults() Config {
 
 // resolveChunk bounds one Oracle.Resolve call so HTTP-backed oracles
 // stay inside the server's batch item limit.
-const resolveChunk = 2048
+const resolveChunk = serve.MaxBatchItems
 
 // runJob is a scheduled job plus its resolved operating point.
 type runJob struct {
@@ -131,17 +140,10 @@ type instance struct {
 }
 
 // Run simulates the trace on the fleet and reduces it to a Report.
-// The trace is not mutated; equal inputs produce equal reports.
+// The trace is not mutated; equal inputs produce equal reports. It is
+// the offline path over the event-driven Engine: submit every job up
+// front, tick to drain.
 func Run(ctx context.Context, cfg Config, trace *Trace) (*Report, error) {
-	cfg = cfg.withDefaults()
-	if len(cfg.Devices) == 0 {
-		return nil, fmt.Errorf("fleet: no devices")
-	}
-	for _, d := range cfg.Devices {
-		if err := d.Validate(); err != nil {
-			return nil, fmt.Errorf("fleet: %w", err)
-		}
-	}
 	if trace == nil || len(trace.Jobs) == 0 {
 		return nil, fmt.Errorf("fleet: empty trace")
 	}
@@ -152,23 +154,30 @@ func Run(ctx context.Context, cfg Config, trace *Trace) (*Report, error) {
 		return nil, err
 	}
 
-	insts, models, err := buildInstances(cfg)
+	eng, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	ops, err := resolveOperatingPoints(ctx, cfg.Oracle, t, models)
+	ops, err := resolveOperatingPoints(ctx, eng.cfg.Oracle, t, eng.models)
 	if err != nil {
 		return nil, err
 	}
-
-	sim := &simState{cfg: cfg, insts: insts, ops: ops}
-	for _, in := range insts {
-		sim.idleSumW += in.dev.IdleWatts
+	eng.AddOperatingPoints(ops)
+	for i := range t.Jobs {
+		if err := eng.Submit(&t.Jobs[i]); err != nil {
+			return nil, err
+		}
 	}
-	if err := sim.run(ctx, t); err != nil {
-		return nil, err
+	for {
+		state, err := eng.Tick(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if state != Running {
+			break
+		}
 	}
-	return sim.report(t), nil
+	return eng.Report(), nil
 }
 
 // buildInstances expands the device list into per-instance state and
@@ -216,16 +225,11 @@ func resolveOperatingPoints(ctx context.Context, oracle Oracle, t *Trace, models
 	}
 	for i := range t.Jobs {
 		j := &t.Jobs[i]
-		if j.Device != "" {
-			if !seenPinned[j.Device] {
-				return nil, fmt.Errorf("fleet: job %s pinned to %q, which is not in the fleet", j.ID, j.Device)
-			}
-			keys = append(keys, OpKey{Device: j.Device, DType: j.dt.String(), Pattern: j.Pattern, Size: j.Size})
-			continue
+		ks, err := jobKeys(j, models, seenPinned)
+		if err != nil {
+			return nil, err
 		}
-		for _, m := range models {
-			keys = append(keys, OpKey{Device: m, DType: j.dt.String(), Pattern: j.Pattern, Size: j.Size})
-		}
+		keys = append(keys, ks...)
 	}
 
 	ops := make(map[OpKey]OperatingPoint)
@@ -244,6 +248,25 @@ func resolveOperatingPoints(ctx context.Context, oracle Oracle, t *Trace, models
 		}
 	}
 	return ops, nil
+}
+
+// jobKeys expands one job into the operating-point keys the scheduler
+// could need: one key on its pinned model, or one per fleet model when
+// unpinned. The live controller uses the same expansion per
+// submission, so live and replayed runs ask the oracle identical
+// question streams and the Report's OracleStats match byte-for-byte.
+func jobKeys(j *Job, models []string, inFleet map[string]bool) ([]OpKey, error) {
+	if j.Device != "" {
+		if !inFleet[j.Device] {
+			return nil, fmt.Errorf("fleet: job %s pinned to %q, which is not in the fleet", j.ID, j.Device)
+		}
+		return []OpKey{{Device: j.Device, DType: j.dt.String(), Pattern: j.Pattern, Size: j.Size}}, nil
+	}
+	keys := make([]OpKey, len(models))
+	for i, m := range models {
+		keys[i] = OpKey{Device: m, DType: j.dt.String(), Pattern: j.Pattern, Size: j.Size}
+	}
+	return keys, nil
 }
 
 // dynBacklogJ is the committed full-clock dynamic energy on the
@@ -271,316 +294,4 @@ func (in *instance) queued() int {
 		n++
 	}
 	return n
-}
-
-// simState is the integration loop state.
-type simState struct {
-	cfg      Config
-	insts    []*instance
-	ops      map[OpKey]OperatingPoint
-	idleSumW float64
-
-	// candBuf/opBuf are admission scratch, reused across jobs.
-	candBuf []sched.Candidate
-	opBuf   []OperatingPoint
-
-	nowS       float64
-	peakFleetW float64
-	fleetWSum  float64 // ∫ fleet power dt
-	events     []ThrottleEvent
-	samples    []Sample
-	nextSample float64
-
-	completed []JobResult
-	failed    []JobResult
-}
-
-func (s *simState) run(ctx context.Context, t *Trace) error {
-	dt := s.cfg.TickS
-	next := 0 // next unadmitted job index
-	powers := make([]float64, len(s.insts))
-
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		// Admit arrivals: each is handed to the configured placement
-		// policy with a snapshot of every eligible instance's state
-		// (the default, sched.EarliestCompletion, picks the instance
-		// that would finish the job first; ties break on fleet order).
-		for next < len(t.Jobs) && t.Jobs[next].ArrivalS <= s.nowS {
-			s.admit(&t.Jobs[next])
-			next++
-		}
-
-		// Start queued work on idle instances.
-		busyAny := false
-		for _, in := range s.insts {
-			if in.cur == nil && len(in.queue) > 0 {
-				in.cur = in.queue[0]
-				in.queue = in.queue[1:]
-				in.doneIts = 0
-			}
-			if in.cur != nil {
-				busyAny = true
-			}
-		}
-		if !busyAny && next >= len(t.Jobs) {
-			s.closeEvents()
-			break
-		}
-		if s.nowS >= s.cfg.HorizonS {
-			s.closeEvents()
-			s.abortUnfinished(t, next)
-			break
-		}
-
-		// Aggregate power-cap governor: demand is each instance's
-		// steady operating-point power; when the sum exceeds the cap,
-		// dynamic power (and with it, clocks) scales down uniformly
-		// across busy instances. Idle floors cannot be capped away.
-		var idleSum, dynSum float64
-		for _, in := range s.insts {
-			idleSum += in.dev.IdleWatts
-			if in.cur != nil {
-				dynSum += in.cur.op.PowerW - in.dev.IdleWatts
-			}
-		}
-		capScale := 1.0
-		if s.cfg.PowerCapW > 0 && dynSum > 0 && idleSum+dynSum > s.cfg.PowerCapW {
-			capScale = (s.cfg.PowerCapW - idleSum) / dynSum
-			if capScale < 0 {
-				capScale = 0
-			}
-		}
-
-		// Per-instance step: thermal governor, temperature
-		// integration, energy accounting and job progress.
-		var fleetW float64
-		for i, in := range s.insts {
-			p := s.stepInstance(in, capScale, dt)
-			powers[i] = p
-			fleetW += p
-		}
-		s.fleetWSum += fleetW * dt
-		if fleetW > s.peakFleetW {
-			s.peakFleetW = fleetW
-		}
-		if s.cfg.RecordSamples && s.nowS >= s.nextSample {
-			s.recordSample(fleetW, powers)
-			s.nextSample += s.cfg.SamplePeriodS
-		}
-		s.nowS += dt
-	}
-	return nil
-}
-
-// admit builds the scheduler-visible view of every eligible instance
-// and delegates the placement to the configured policy.
-func (s *simState) admit(j *Job) {
-	cands := s.candBuf[:0]
-	ops := s.opBuf[:0]
-	for i, in := range s.insts {
-		if j.Device != "" && in.dev.Name != j.Device {
-			continue
-		}
-		op, ok := s.ops[OpKey{Device: in.dev.Name, DType: j.dt.String(), Pattern: j.Pattern, Size: j.Size}]
-		if !ok {
-			continue
-		}
-		cands = append(cands, sched.Candidate{
-			Index:           i,
-			Model:           in.dev.Name,
-			BacklogS:        in.backlogS,
-			Queued:          in.queued(),
-			QueueDynEnergyJ: in.dynBacklogJ(),
-			TempC:           in.tempC,
-			AmbientC:        in.ambient,
-			IdleW:           in.dev.IdleWatts,
-			RThermalCPerW:   in.dev.Thermal.RThermalCPerW,
-			ThrottleTempC:   in.dev.Thermal.ThrottleTempC,
-			IterTimeS:       op.IterTimeS,
-			PowerW:          op.PowerW,
-			PredictedW:      op.PredictedW,
-			Throttled:       op.Throttled,
-		})
-		ops = append(ops, op)
-	}
-	s.candBuf, s.opBuf = cands, ops
-	if len(cands) == 0 {
-		// Unreachable after resolveOperatingPoints validated pinning,
-		// but a dropped job must not vanish silently.
-		s.failed = append(s.failed, JobResult{ID: j.ID, Error: "no eligible device"})
-		return
-	}
-	pick := s.cfg.Policy.Place(sched.Job{
-		ID:         j.ID,
-		DType:      j.dt.String(),
-		Pattern:    j.Pattern,
-		Size:       j.Size,
-		ArrivalS:   j.ArrivalS,
-		Iterations: j.Iterations,
-	}, cands, sched.Fleet{
-		PowerCapW: s.cfg.PowerCapW,
-		IdleSumW:  s.idleSumW,
-		Instances: len(s.insts),
-		NowS:      s.nowS,
-	})
-	if pick < 0 || pick >= len(cands) {
-		s.failed = append(s.failed, JobResult{
-			ID:    j.ID,
-			Error: fmt.Sprintf("policy %s returned invalid placement %d for %d candidates", s.cfg.Policy.Name(), pick, len(cands)),
-		})
-		return
-	}
-	in := s.insts[cands[pick].Index]
-	op := ops[pick]
-	rj := &runJob{job: j, op: op, serviceS: float64(j.Iterations) * op.IterTimeS}
-	in.queue = append(in.queue, rj)
-	in.backlogS += rj.serviceS
-}
-
-// stepInstance advances one device by dt under the global cap scale
-// and returns its power draw this tick.
-func (s *simState) stepInstance(in *instance, capScale, dt float64) float64 {
-	idle := in.dev.IdleWatts
-	power := idle
-	scale := 1.0
-	capped, thermal := false, false
-
-	if in.cur != nil {
-		dyn := in.cur.op.PowerW - idle
-		scale = capScale
-		capped = capScale < 1-1e-12
-		power = idle + scale*dyn
-
-		// Thermal governor: once the die reaches the throttle point,
-		// clocks scale so steady power holds the temperature there.
-		// The limit depends on the (possibly overridden) ambient, so a
-		// hot aisle throttles configurations the preset's 30 °C
-		// calibration point allowed.
-		if in.tempC >= in.dev.Thermal.ThrottleTempC-1e-9 {
-			pMax := (in.dev.Thermal.ThrottleTempC - in.ambient) / in.dev.Thermal.RThermalCPerW
-			if power > pMax {
-				thermal = true
-				ts := (pMax - idle) / (power - idle)
-				if ts < 0 {
-					ts = 0
-				}
-				scale *= ts
-				power = idle + scale*dyn
-			}
-		}
-	}
-
-	// First-order RC temperature integration toward the steady state
-	// implied by this tick's power.
-	steady := in.ambient + power*in.dev.Thermal.RThermalCPerW
-	in.tempC += dt * (steady - in.tempC) / s.cfg.ThermalTauS
-	if in.tempC > in.maxTempC {
-		in.maxTempC = in.tempC
-	}
-
-	in.energyJ += power * dt
-	if power > in.peakPowerW {
-		in.peakPowerW = power
-	}
-
-	if in.cur != nil {
-		in.busyS += dt
-		if capped {
-			in.capS += dt
-		}
-		if thermal {
-			in.thermalS += dt
-		}
-		s.updateEvent(in, &in.capEventStart, capped, "cap")
-		s.updateEvent(in, &in.thermalEventStart, thermal, "thermal")
-
-		progressed := dt * scale / in.cur.op.IterTimeS
-		in.doneIts += progressed
-		in.backlogS -= dt * scale
-		if in.doneIts >= float64(in.cur.job.Iterations) {
-			j := in.cur.job
-			s.completed = append(s.completed, JobResult{
-				ID:         j.ID,
-				Device:     in.id,
-				DType:      j.dt.String(),
-				Pattern:    j.Pattern,
-				Size:       j.Size,
-				ArrivalS:   j.ArrivalS,
-				FinishS:    s.nowS + dt,
-				LatencyS:   s.nowS + dt - j.ArrivalS,
-				ServiceS:   in.cur.serviceS,
-				PowerW:     in.cur.op.PowerW,
-				PredictedW: in.cur.op.PredictedW,
-			})
-			in.jobsRun++
-			in.cur = nil
-			in.doneIts = 0
-		}
-	} else {
-		s.updateEvent(in, &in.capEventStart, false, "cap")
-		s.updateEvent(in, &in.thermalEventStart, false, "thermal")
-	}
-	return power
-}
-
-// updateEvent opens or closes one (instance, reason) throttle event as
-// the condition toggles, coalescing contiguous throttled ticks.
-func (s *simState) updateEvent(in *instance, start *float64, active bool, reason string) {
-	switch {
-	case active && *start < 0:
-		*start = s.nowS
-	case !active && *start >= 0:
-		s.events = append(s.events, ThrottleEvent{Device: in.id, Reason: reason, StartS: *start, EndS: s.nowS})
-		*start = -1
-	}
-}
-
-// closeEvents finalizes any events still open at simulation end.
-func (s *simState) closeEvents() {
-	for _, in := range s.insts {
-		if in.capEventStart >= 0 {
-			s.events = append(s.events, ThrottleEvent{Device: in.id, Reason: "cap", StartS: in.capEventStart, EndS: s.nowS})
-			in.capEventStart = -1
-		}
-		if in.thermalEventStart >= 0 {
-			s.events = append(s.events, ThrottleEvent{Device: in.id, Reason: "thermal", StartS: in.thermalEventStart, EndS: s.nowS})
-			in.thermalEventStart = -1
-		}
-	}
-}
-
-// abortUnfinished records every job that had not completed when the
-// horizon hit: still-running, queued and not-yet-admitted jobs alike.
-func (s *simState) abortUnfinished(t *Trace, next int) {
-	for _, in := range s.insts {
-		if in.cur != nil {
-			s.failed = append(s.failed, JobResult{ID: in.cur.job.ID, Device: in.id, Error: "unfinished at horizon"})
-			in.cur = nil
-		}
-		for _, rj := range in.queue {
-			s.failed = append(s.failed, JobResult{ID: rj.job.ID, Device: in.id, Error: "queued at horizon"})
-		}
-		in.queue = nil
-	}
-	for ; next < len(t.Jobs); next++ {
-		s.failed = append(s.failed, JobResult{ID: t.Jobs[next].ID, Error: "not admitted before horizon"})
-	}
-}
-
-// recordSample appends one telemetry sample.
-func (s *simState) recordSample(fleetW float64, powers []float64) {
-	sm := Sample{
-		TimeS:       s.nowS,
-		FleetW:      fleetW,
-		DeviceW:     make([]float64, len(s.insts)),
-		DeviceTempC: make([]float64, len(s.insts)),
-	}
-	copy(sm.DeviceW, powers)
-	for i, in := range s.insts {
-		sm.DeviceTempC[i] = in.tempC
-	}
-	s.samples = append(s.samples, sm)
 }

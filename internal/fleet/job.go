@@ -57,6 +57,34 @@ type Trace struct {
 	Jobs []Job `json:"jobs"`
 }
 
+// normalizeJob validates one job in place: dtype parsed, pattern
+// canonicalized, bounds checked, prediction key filled. Both trace
+// loading and live HTTP admission funnel through it, so a job the
+// controller accepted is exactly a job a replayed trace accepts.
+func normalizeJob(j *Job) error {
+	dt, ok := matrix.ParseDType(j.DType)
+	if !ok {
+		return fmt.Errorf("fleet: job %s: unknown dtype %q", j.ID, j.DType)
+	}
+	j.dt = dt
+	canon, err := patterns.Canonicalize(j.Pattern)
+	if err != nil {
+		return fmt.Errorf("fleet: job %s: %w", j.ID, err)
+	}
+	j.Pattern = canon
+	if j.Size < 8 {
+		return fmt.Errorf("fleet: job %s: size %d below minimum 8", j.ID, j.Size)
+	}
+	if j.Iterations <= 0 {
+		return fmt.Errorf("fleet: job %s: iterations must be positive", j.ID)
+	}
+	if j.ArrivalS < 0 || math.IsNaN(j.ArrivalS) {
+		return fmt.Errorf("fleet: job %s: bad arrival time %v", j.ID, j.ArrivalS)
+	}
+	j.key = jobSpec{dtype: dt, pattern: canon, size: j.Size}
+	return nil
+}
+
 // normalize validates every job, canonicalizes patterns, fills default
 // IDs and sorts by (arrival, ID) so scheduling order is deterministic
 // regardless of the order jobs were listed in.
@@ -66,26 +94,9 @@ func (t *Trace) normalize() error {
 		if j.ID == "" {
 			j.ID = fmt.Sprintf("job%d", i)
 		}
-		dt, ok := matrix.ParseDType(j.DType)
-		if !ok {
-			return fmt.Errorf("fleet: job %s: unknown dtype %q", j.ID, j.DType)
+		if err := normalizeJob(j); err != nil {
+			return err
 		}
-		j.dt = dt
-		canon, err := patterns.Canonicalize(j.Pattern)
-		if err != nil {
-			return fmt.Errorf("fleet: job %s: %w", j.ID, err)
-		}
-		j.Pattern = canon
-		if j.Size < 8 {
-			return fmt.Errorf("fleet: job %s: size %d below minimum 8", j.ID, j.Size)
-		}
-		if j.Iterations <= 0 {
-			return fmt.Errorf("fleet: job %s: iterations must be positive", j.ID)
-		}
-		if j.ArrivalS < 0 || math.IsNaN(j.ArrivalS) {
-			return fmt.Errorf("fleet: job %s: bad arrival time %v", j.ID, j.ArrivalS)
-		}
-		j.key = jobSpec{dtype: dt, pattern: canon, size: j.Size}
 	}
 	sort.SliceStable(t.Jobs, func(a, b int) bool {
 		if t.Jobs[a].ArrivalS != t.Jobs[b].ArrivalS {

@@ -163,6 +163,57 @@ func TestPowerPackReducesThrottle(t *testing.T) {
 	}
 }
 
+// TestPredictiveHorizonFront is the tentpole acceptance property: on
+// the capped mixed-encoding schedfront scenario, projecting demand
+// over a horizon must trace a strictly better knee than packing by
+// instantaneous power — no more throttle events than PowerPack at a
+// materially lower makespan. The same three rows are committed as the
+// CI fixture .github/testdata/horizon-front.csv.
+func TestPredictiveHorizonFront(t *testing.T) {
+	trace, err := Synthetic(SyntheticConfig{
+		Jobs:     96,
+		RatePerS: 300,
+		Seed:     42,
+		DTypes:   []string{"FP16", "FP16-T", "INT8"},
+		Patterns: []string{
+			"gaussian(default)", "gaussian(mean=500, std=1)",
+			"constant(7)", "gaussian(default) | sparsify(75%)",
+			"gaussian(default) | sort(rows, 100%)", "gaussian(default) | zerolsb(8)",
+		},
+		Sizes: []int{512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Devices:   []*device.Device{device.A100PCIe(), device.A100PCIe(), device.A100PCIe(), device.A100PCIe()},
+		Oracle:    smallOracle(),
+		PowerCapW: 310,
+	}
+	front, err := sched.Compare(context.Background(), PolicyRunner(cfg, trace),
+		[]sched.Policy{sched.EarliestCompletion{}, sched.PowerPack{}, sched.PredictiveHorizon{WindowS: sched.DefaultHorizonWindowS}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, _ := front.ByPolicy("EarliestCompletion")
+	pp, _ := front.ByPolicy("PowerPack")
+	ph, _ := front.ByPolicy("PredictiveHorizon")
+	if ec.ThrottleEvents == 0 {
+		t.Fatal("baseline run did not throttle; the cap is not binding")
+	}
+	if ph.ThrottleEvents > pp.ThrottleEvents {
+		t.Errorf("PredictiveHorizon %d throttle events, PowerPack %d — want no more",
+			ph.ThrottleEvents, pp.ThrottleEvents)
+	}
+	if ph.MakespanS >= pp.MakespanS {
+		t.Errorf("PredictiveHorizon makespan %.3fs, PowerPack %.3fs — want strictly lower",
+			ph.MakespanS, pp.MakespanS)
+	}
+	if ph.Completed != ph.Jobs {
+		t.Errorf("PredictiveHorizon completed %d of %d jobs", ph.Completed, ph.Jobs)
+	}
+}
+
 // TestCompareFrontDeterministic drives the full harness: the front
 // over all built-in policies must be byte-identical across two
 // comparisons, every policy must complete the workload, and rows must

@@ -105,39 +105,43 @@ type Report struct {
 	Samples    []Sample    `json:"samples,omitempty"`
 }
 
-// report reduces the finished simulation state.
-func (s *simState) report(t *Trace) *Report {
+// Report reduces the simulation state so far. It is safe to call at
+// any drain point — open throttle events are closed in the returned
+// copy without mutating engine state — but the canonical report is the
+// one taken when the engine has drained with no further submissions
+// coming, which is exactly what a replayed trace reproduces.
+func (e *Engine) Report() *Report {
 	r := &Report{
-		PowerCapW:      s.cfg.PowerCapW,
-		AmbientC:       s.cfg.AmbientC,
-		Jobs:           len(t.Jobs),
-		Completed:      len(s.completed),
-		Unfinished:     len(s.failed),
-		DurationS:      s.nowS,
-		FleetEnergyJ:   s.fleetWSum,
-		PeakFleetW:     s.peakFleetW,
-		ThrottleEvents: s.events,
-		Samples:        s.samples,
+		PowerCapW:      e.cfg.PowerCapW,
+		AmbientC:       e.cfg.AmbientC,
+		Jobs:           e.submitted,
+		Completed:      len(e.completed),
+		Unfinished:     len(e.failed),
+		DurationS:      e.nowS,
+		FleetEnergyJ:   e.fleetWSum,
+		PeakFleetW:     e.peakFleetW,
+		ThrottleEvents: e.closedEvents(),
+		Samples:        e.samples,
 	}
-	if s.nowS > 0 {
-		r.AvgFleetW = s.fleetWSum / s.nowS
+	if e.nowS > 0 {
+		r.AvgFleetW = e.fleetWSum / e.nowS
 	}
-	if so, ok := s.cfg.Oracle.(statsOracle); ok {
+	if so, ok := e.cfg.Oracle.(statsOracle); ok {
 		r.Oracle = so.Stats()
 	}
 	if r.ThrottleEvents == nil {
 		r.ThrottleEvents = []ThrottleEvent{}
 	}
 
-	sort.SliceStable(s.completed, func(a, b int) bool {
-		if s.completed[a].FinishS != s.completed[b].FinishS {
-			return s.completed[a].FinishS < s.completed[b].FinishS
+	sort.SliceStable(e.completed, func(a, b int) bool {
+		if e.completed[a].FinishS != e.completed[b].FinishS {
+			return e.completed[a].FinishS < e.completed[b].FinishS
 		}
-		return s.completed[a].ID < s.completed[b].ID
+		return e.completed[a].ID < e.completed[b].ID
 	})
-	lat := make([]float64, len(s.completed))
+	lat := make([]float64, len(e.completed))
 	var latSum float64
-	for i, jr := range s.completed {
+	for i, jr := range e.completed {
 		lat[i] = jr.LatencyS
 		latSum += jr.LatencyS
 	}
@@ -150,7 +154,7 @@ func (s *simState) report(t *Trace) *Report {
 		r.LatencyMaxS = lat[len(lat)-1]
 	}
 
-	for _, in := range s.insts {
+	for _, in := range e.insts {
 		dr := DeviceReport{
 			Device:            in.id,
 			Model:             in.dev.Name,
@@ -161,15 +165,15 @@ func (s *simState) report(t *Trace) *Report {
 			CapThrottledS:     in.capS,
 			ThermalThrottledS: in.thermalS,
 		}
-		if s.nowS > 0 {
-			dr.UtilizationFrac = in.busyS / s.nowS
-			dr.AvgPowerW = in.energyJ / s.nowS
+		if e.nowS > 0 {
+			dr.UtilizationFrac = in.busyS / e.nowS
+			dr.AvgPowerW = in.energyJ / e.nowS
 		}
 		r.Devices = append(r.Devices, dr)
 	}
 
-	r.JobResults = append(r.JobResults, s.completed...)
-	r.JobResults = append(r.JobResults, s.failed...)
+	r.JobResults = append(r.JobResults, e.completed...)
+	r.JobResults = append(r.JobResults, e.failed...)
 	return r
 }
 

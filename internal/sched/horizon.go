@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultHorizonWindowS is the projection window PredictiveHorizon uses
+// when constructed from the registry (All, ByName). CLI surfaces
+// override it (fleetsim/fleetctl -window).
+const DefaultHorizonWindowS = 30
+
+// horizonEpsW absorbs float rounding when a projected peak sits exactly
+// on the cap.
+const horizonEpsW = 1e-9
+
+// PredictiveHorizon packs jobs against the power cap *before* it is
+// breached: at each admission it projects the fleet's concurrent
+// dynamic power demand over the next WindowS seconds from every
+// instance's committed queue (Fleet.Timelines) plus the arriving job,
+// and only considers placements whose projected peak stays inside the
+// cap's dynamic headroom. Among cap-safe placements it picks the
+// earliest completion, so — unlike PowerPack, which serializes all hot
+// jobs onto one affinity queue regardless of headroom — hot jobs run
+// concurrently whenever the projection shows room and stagger in time
+// (deferred behind committed work) exactly when they would collide.
+// The result is PowerPack's throttle avoidance at a far smaller
+// makespan premium.
+//
+// When every placement breaches within the window, the policy minimizes
+// the projected overage (ties toward earliest completion) — the least
+// bad breach rather than a blind pick. A zero window, an uncapped
+// fleet, or a run without timeline context all degrade to PowerPack,
+// whose own uncapped fallback is EarliestCompletion.
+type PredictiveHorizon struct {
+	// WindowS is the projection horizon in seconds. Zero disables the
+	// projection and degrades the policy to PowerPack.
+	WindowS float64
+}
+
+// Name implements Policy.
+func (PredictiveHorizon) Name() string { return "PredictiveHorizon" }
+
+// HorizonWindowS implements HorizonAware: the simulator builds
+// Fleet.Timelines only when this is positive.
+func (p PredictiveHorizon) HorizonWindowS() float64 { return p.WindowS }
+
+// Place implements Policy.
+func (p PredictiveHorizon) Place(job Job, cands []Candidate, fleet Fleet) int {
+	if p.WindowS <= 0 || fleet.PowerCapW <= 0 || fleet.Timelines == nil {
+		return PowerPack{}.Place(job, cands, fleet)
+	}
+	headroomW := fleet.PowerCapW - fleet.IdleSumW
+
+	bestSafe, bestUnsafe := -1, -1
+	bestSafeEta := math.Inf(1)
+	bestOver, bestUnsafeEta := math.Inf(1), math.Inf(1)
+	for i, c := range cands {
+		// The job starts when the candidate's committed work drains;
+		// each committed segment is padded by one tick because the
+		// simulator detects completions at tick boundaries.
+		start := 0.0
+		for _, seg := range fleet.Timelines[c.Index] {
+			start += seg.DurationS + fleet.TickS
+		}
+		peak := ProjectedPeakW(fleet.Timelines,
+			start, float64(job.Iterations)*c.IterTimeS, c.PowerW-c.IdleW,
+			p.WindowS, fleet.TickS)
+		over := peak - headroomW
+		e := eta(job, c)
+		if over <= horizonEpsW {
+			if e < bestSafeEta {
+				bestSafe, bestSafeEta = i, e
+			}
+		} else if over < bestOver || (over == bestOver && e < bestUnsafeEta) {
+			bestUnsafe, bestOver, bestUnsafeEta = i, over, e
+		}
+	}
+	if bestSafe >= 0 {
+		return bestSafe
+	}
+	return bestUnsafe
+}
+
+// ProjectedPeakW returns the peak concurrent dynamic power demand
+// within [0, windowS) implied by the committed per-instance timelines
+// plus one extra segment — the job under consideration — running at
+// extraDynW watts for extraDurS seconds starting at extraStartS. Every
+// segment is padded by padS (the integration tick) so the projection
+// upper-bounds the simulator's tick-granular start times; demand beyond
+// the window is deliberately invisible, which is what makes the policy
+// a *horizon* rather than an exact solver. The computation is
+// deterministic: segments contribute in fleet order and the sweep is a
+// stable sort over breakpoints.
+func ProjectedPeakW(timelines [][]PowerSegment, extraStartS, extraDurS, extraDynW, windowS, padS float64) float64 {
+	type delta struct{ t, dw float64 }
+	var deltas []delta
+	add := func(start, dur, dw float64) {
+		if dur <= 0 || dw == 0 || start >= windowS {
+			return
+		}
+		deltas = append(deltas, delta{start, dw})
+		if end := start + dur; end < windowS {
+			deltas = append(deltas, delta{end, -dw})
+		}
+	}
+	for _, tl := range timelines {
+		t := 0.0
+		for _, seg := range tl {
+			add(t, seg.DurationS+padS, seg.DynPowerW)
+			t += seg.DurationS + padS
+		}
+	}
+	add(extraStartS, extraDurS+padS, extraDynW)
+
+	sort.SliceStable(deltas, func(a, b int) bool { return deltas[a].t < deltas[b].t })
+	var cur, peak float64
+	for i := 0; i < len(deltas); {
+		t := deltas[i].t
+		for i < len(deltas) && deltas[i].t == t {
+			cur += deltas[i].dw
+			i++
+		}
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}

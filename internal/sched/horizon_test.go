@@ -1,0 +1,182 @@
+package sched
+
+import "testing"
+
+func TestProjectedPeakWDemandCurve(t *testing.T) {
+	// Two instances with committed work, plus a candidate segment:
+	//   inst 0: 100 W for [0,2), then 50 W for [2,5)
+	//   inst 1:  60 W for [0,4)
+	//   extra:   30 W for [1,3)
+	// Demand: 160 on [0,1), 190 on [1,2), 140 on [2,3), 110 on [3,4),
+	// 50 on [4,5). Peak 190.
+	timelines := [][]PowerSegment{
+		{{DurationS: 2, DynPowerW: 100}, {DurationS: 3, DynPowerW: 50}},
+		{{DurationS: 4, DynPowerW: 60}},
+	}
+	if got := ProjectedPeakW(timelines, 1, 2, 30, 10, 0); got != 190 {
+		t.Errorf("peak = %v, want 190", got)
+	}
+	// A shorter window truncates the sweep: demand past the window is
+	// invisible, but segments straddling it still count.
+	if got := ProjectedPeakW(timelines, 1, 2, 30, 1.5, 0); got != 190 {
+		t.Errorf("peak within [0,1.5) = %v, want 190", got)
+	}
+	if got := ProjectedPeakW(timelines, 1, 2, 30, 0.5, 0); got != 160 {
+		t.Errorf("peak within [0,0.5) = %v, want 160", got)
+	}
+	// An extra segment starting at or past the window contributes
+	// nothing: only the committed 160 W on [0,1) remains visible.
+	if got := ProjectedPeakW(timelines, 2, 10, 500, 1.5, 0); got != 160 {
+		t.Errorf("out-of-window extra changed peak to %v, want 160", got)
+	}
+	// No timelines, no extra draw: zero demand.
+	if got := ProjectedPeakW(nil, 0, 0, 0, 10, 0); got != 0 {
+		t.Errorf("empty projection = %v, want 0", got)
+	}
+}
+
+func TestProjectedPeakWTickPadding(t *testing.T) {
+	// A committed segment ending exactly when the extra one starts: with
+	// no padding they never overlap, with padding the boundary tick
+	// double-counts — the conservative upper bound the simulator's
+	// tick-granular completion detection requires.
+	timelines := [][]PowerSegment{{{DurationS: 1, DynPowerW: 100}}}
+	if got := ProjectedPeakW(timelines, 1, 1, 50, 10, 0); got != 100 {
+		t.Errorf("unpadded peak = %v, want 100", got)
+	}
+	if got := ProjectedPeakW(timelines, 1, 1, 50, 10, 0.5); got != 150 {
+		t.Errorf("padded peak = %v, want 150", got)
+	}
+}
+
+// horizonFleet is a two-instance capped fleet where instance 0 has one
+// committed hot job (100 W dynamic for 10 s) and instance 1 is idle.
+// Idle floor 110 W, cap 260 W: dynamic headroom 150 W.
+func horizonFleet() Fleet {
+	return Fleet{
+		PowerCapW: 260,
+		IdleSumW:  110,
+		Instances: 2,
+		TickS:     1e-3,
+		Timelines: [][]PowerSegment{
+			{{DurationS: 10, DynPowerW: 100}},
+			nil,
+		},
+	}
+}
+
+func TestPredictiveHorizonDefersBreachingJob(t *testing.T) {
+	fleet := horizonFleet()
+	p := PredictiveHorizon{WindowS: 30}
+
+	// A hot job (100 W dynamic, 10 s service) on the idle instance would
+	// run concurrently with instance 0's committed work: 200 W projected
+	// dynamic peak against 150 W headroom. The policy must defer it
+	// behind the committed job even though the idle instance finishes it
+	// 10 s sooner.
+	hot := Job{ID: "hot", Iterations: 10000}
+	cands := []Candidate{
+		cand(0, 10, 1e-3, 155), // dyn 100, starts after the backlog
+		cand(1, 0, 1e-3, 155),  // dyn 100, starts now — breaches
+	}
+	if got := p.Place(hot, cands, fleet); got != 0 {
+		t.Errorf("hot job placed on %d, want deferred behind instance 0", got)
+	}
+	// EarliestCompletion takes the breaching placement, confirming the
+	// deferral is the horizon's doing.
+	if got := (EarliestCompletion{}).Place(hot, cands, fleet); got != 1 {
+		t.Errorf("EarliestCompletion placed on %d, want 1", got)
+	}
+
+	// A cheap job (40 W dynamic) fits beside the committed work: 140 W
+	// projected peak is inside headroom, so it takes the idle instance
+	// and the earlier completion.
+	cheap := []Candidate{cand(0, 10, 1e-3, 95), cand(1, 0, 1e-3, 95)}
+	if got := p.Place(hot, cheap, fleet); got != 1 {
+		t.Errorf("cheap job placed on %d, want the idle instance 1", got)
+	}
+}
+
+func TestPredictiveHorizonMinimizesOverageWhenAllBreach(t *testing.T) {
+	// Shrink headroom to 90 W so even a lone 100 W job breaches wherever
+	// it goes. Deferring behind instance 0 keeps the projected peak at
+	// 100 W (overage 10); running concurrently peaks at 200 W (overage
+	// 110). The policy takes the least-bad breach.
+	fleet := horizonFleet()
+	fleet.PowerCapW = 200
+	hot := Job{ID: "hot", Iterations: 10000}
+	cands := []Candidate{cand(0, 10, 1e-3, 155), cand(1, 0, 1e-3, 155)}
+	if got := (PredictiveHorizon{WindowS: 30}).Place(hot, cands, fleet); got != 0 {
+		t.Errorf("placed on %d, want the minimal-overage instance 0", got)
+	}
+}
+
+func TestPredictiveHorizonBeyondWindowIsInvisible(t *testing.T) {
+	// With a 5 s window, the deferred start (t = 10 s) of the hot job
+	// falls outside the projection, so only the concurrent placement's
+	// breach is visible — and the committed segment alone already fills
+	// the window, so deferral projects a clean 100 W peak. A long window
+	// sees both; a short one must still defer.
+	fleet := horizonFleet()
+	hot := Job{ID: "hot", Iterations: 10000}
+	cands := []Candidate{cand(0, 10, 1e-3, 155), cand(1, 0, 1e-3, 155)}
+	if got := (PredictiveHorizon{WindowS: 5}).Place(hot, cands, fleet); got != 0 {
+		t.Errorf("short-window placement on %d, want 0", got)
+	}
+}
+
+func TestPredictiveHorizonDegradesToPowerPack(t *testing.T) {
+	job := Job{ID: "hot", Iterations: 1000}
+	hotQueue := cand(0, 1.0, 1e-3, 85)
+	hotQueue.QueueDynEnergyJ = 30.0
+	empty := cand(1, 0, 1e-3, 85)
+	cands := []Candidate{hotQueue, empty}
+
+	capped := Fleet{PowerCapW: 300, IdleSumW: 110, Instances: 2}
+	for _, tc := range []struct {
+		name   string
+		policy PredictiveHorizon
+		fleet  Fleet
+	}{
+		{"zero window", PredictiveHorizon{}, withTimelines(capped)},
+		{"nil timelines", PredictiveHorizon{WindowS: 30}, capped},
+		{"uncapped", PredictiveHorizon{WindowS: 30}, withTimelines(Fleet{Instances: 2})},
+	} {
+		want := (PowerPack{}).Place(job, cands, tc.fleet)
+		if got := tc.policy.Place(job, cands, tc.fleet); got != want {
+			t.Errorf("%s: placed on %d, want PowerPack's %d", tc.name, got, want)
+		}
+	}
+
+	// The degrade is real PowerPack behaviour, not a coincidence: under
+	// a cap the hot job joins the hot queue (affinity), which
+	// EarliestCompletion would never do.
+	if got := (PredictiveHorizon{}).Place(job, cands, withTimelines(capped)); got != 0 {
+		t.Errorf("zero-window capped placement on %d, want PowerPack's affinity pick 0", got)
+	}
+}
+
+func withTimelines(f Fleet) Fleet {
+	f.Timelines = make([][]PowerSegment, f.Instances)
+	return f
+}
+
+func TestPredictiveHorizonIsHorizonAware(t *testing.T) {
+	var p Policy = PredictiveHorizon{WindowS: 12.5}
+	ha, ok := p.(HorizonAware)
+	if !ok {
+		t.Fatal("PredictiveHorizon must implement HorizonAware")
+	}
+	if got := ha.HorizonWindowS(); got != 12.5 {
+		t.Errorf("HorizonWindowS = %v, want 12.5", got)
+	}
+	if w := (PredictiveHorizon{}).HorizonWindowS(); w > 0 {
+		t.Errorf("zero-value window = %v, want non-positive", w)
+	}
+	// No other built-in policy asks for timelines.
+	for _, pol := range All() {
+		if _, ok := pol.(HorizonAware); ok && pol.Name() != "PredictiveHorizon" {
+			t.Errorf("%s unexpectedly implements HorizonAware", pol.Name())
+		}
+	}
+}

@@ -92,6 +92,18 @@ type Candidate struct {
 	Throttled bool
 }
 
+// PowerSegment is one stretch of committed dynamic power on an
+// instance: a running or queued job's remaining full-clock service time
+// and its sustained dynamic draw (board power minus the idle floor).
+// An instance's committed timeline is a sequence of consecutive
+// segments starting at the admission instant.
+type PowerSegment struct {
+	// DurationS is the segment length at full clocks.
+	DurationS float64
+	// DynPowerW is the sustained dynamic draw during the segment.
+	DynPowerW float64
+}
+
 // Fleet is the run-level context shared by every admission decision.
 type Fleet struct {
 	// PowerCapW is the aggregate fleet power budget (0 = uncapped).
@@ -103,6 +115,25 @@ type Fleet struct {
 	Instances int
 	// NowS is the admission instant in simulated seconds.
 	NowS float64
+	// TickS is the simulator integration step. Horizon-aware policies
+	// pad projected segments by one tick to absorb the simulator's
+	// tick-granular completion detection.
+	TickS float64
+	// Timelines is the committed dynamic-power profile of every fleet
+	// instance, indexed like the fleet (Candidate.Index addresses into
+	// it). It is only populated for policies that implement
+	// HorizonAware; nil otherwise.
+	Timelines [][]PowerSegment
+}
+
+// HorizonAware is implemented by policies that consume Fleet.Timelines.
+// The simulator builds the per-instance committed power profiles at
+// each admission only when the configured policy asks for them with a
+// positive window, so horizon-oblivious runs pay nothing.
+type HorizonAware interface {
+	// HorizonWindowS is the projection window in seconds; a
+	// non-positive window disables timeline construction.
+	HorizonWindowS() float64
 }
 
 // Policy decides placements. Place returns the index into cands of the
@@ -125,6 +156,7 @@ func All() []Policy {
 		PowerPack{},
 		ThermalSpread{},
 		EnergyGreedy{},
+		PredictiveHorizon{WindowS: DefaultHorizonWindowS},
 	}
 }
 

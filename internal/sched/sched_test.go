@@ -97,8 +97,8 @@ func TestEnergyGreedyPrefersEfficientModel(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 4 {
-		t.Fatalf("expected 4 built-in policies, have %v", names)
+	if len(names) != 5 {
+		t.Fatalf("expected 5 built-in policies, have %v", names)
 	}
 	for _, n := range names {
 		p, err := ByName(n)
