@@ -1,0 +1,184 @@
+// Command chaosproxy injects a fault plan in front of a real
+// powerserve (or powerrouter) process: the real-binary twin of
+// internal/faultinject.Transport, consuming the same JSON plan format,
+// so a chaos schedule validated in-process replays identically against
+// live processes in CI.
+//
+// Like Transport, only POST requests count toward (and are eligible
+// for) the schedule; GET traffic — health, readiness and metrics
+// polling — forwards unfaulted and uncounted, so readiness probes
+// cannot shift fault indices between runs.
+//
+// Usage:
+//
+//	powerserve -addr :8101 &
+//	chaosproxy -addr :8201 -upstream http://localhost:8101 -plan plan.json -shard 0
+//	powerrouter -addr :8090 -shard http://localhost:8201 -shard http://localhost:8102
+//
+// Fault semantics per kind: refuse aborts the connection without a
+// response; hang holds the request until the client gives up; delay
+// forwards after the scheduled pause; error answers a plain-text 503
+// without forwarding; truncate forwards, then writes only half the
+// upstream body against a full-length Content-Length, so the client
+// sees the connection die mid-transfer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8201", "listen address")
+		upstream = flag.String("upstream", "", "base URL of the shard this proxy fronts (required)")
+		planPath = flag.String("plan", "", "path to a faultinject JSON plan (required)")
+		shard    = flag.Int("shard", 0, "this proxy's shard index within the plan")
+	)
+	flag.Parse()
+	if *upstream == "" || *planPath == "" {
+		fmt.Fprintln(os.Stderr, "chaosproxy: -upstream and -plan are required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*planPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+	plan, err := faultinject.ReadPlan(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+
+	p := &proxy{
+		upstream: *upstream,
+		plan:     plan,
+		shard:    *shard,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+	}
+
+	log.Printf("chaosproxy: %s -> %s, plan %s (shard %d, %d events)",
+		*addr, *upstream, *planPath, *shard, len(plan.Events))
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           p,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// proxy forwards requests to the upstream, injecting the plan's fault
+// for each counted POST.
+type proxy struct {
+	upstream string
+	plan     *faultinject.Plan
+	shard    int
+	client   *http.Client
+
+	mu    sync.Mutex
+	count int
+}
+
+func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		p.forward(w, r, 1)
+		return
+	}
+	p.mu.Lock()
+	idx := p.count
+	p.count++
+	p.mu.Unlock()
+
+	ev, ok := p.plan.Lookup(p.shard, idx)
+	if !ok {
+		p.forward(w, r, 1)
+		return
+	}
+	log.Printf("chaosproxy: request %d: injecting %s", idx, ev.Kind)
+	switch ev.Kind {
+	case faultinject.KindRefuse:
+		// Abort the connection without writing a response: the client
+		// sees it die, as a refused/reset connection would.
+		panic(http.ErrAbortHandler)
+	case faultinject.KindHang:
+		<-r.Context().Done()
+	case faultinject.KindDelay:
+		ms := ev.DelayMS
+		if ms <= 0 {
+			ms = faultinject.DefaultDelayMS
+		}
+		select {
+		case <-time.After(time.Duration(ms) * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		p.forward(w, r, 1)
+	case faultinject.KindError5xx:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "fault injected: shard %d request %d unavailable\n", p.shard, idx)
+	case faultinject.KindTruncate:
+		// Forward for real — the upstream processes the request — then
+		// cut the response off halfway: full Content-Length, half the
+		// bytes, connection closed. The client sees unexpected EOF.
+		p.forward(w, r, 2)
+	default:
+		p.forward(w, r, 1)
+	}
+}
+
+// forward proxies one request to the upstream, writing 1/div of the
+// response body (div 2 = the truncate fault).
+func (p *proxy) forward(w http.ResponseWriter, r *http.Request, div int) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.upstream+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		// The upstream itself is unreachable: surface it as an aborted
+		// connection, the same signal the client gets from a dead shard.
+		log.Printf("chaosproxy: upstream: %v", err)
+		panic(http.ErrAbortHandler)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	if _, err := w.Write(body[:len(body)/div]); err != nil {
+		return
+	}
+	if div > 1 {
+		// Close the connection mid-transfer rather than letting the
+		// server pad or chunk-terminate the short body.
+		panic(http.ErrAbortHandler)
+	}
+}

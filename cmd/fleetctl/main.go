@@ -24,6 +24,14 @@
 // fleet, cap, policy and oracle reproduces GET /fleet/report
 // byte-for-byte. Endpoint shapes are documented with runnable examples
 // in docs/API.md.
+//
+// The same determinism makes the session crash-safe: with -wal every
+// admitted job is journaled (fsynced before the admission is
+// acknowledged), and after a crash -resume replays the journal into a
+// fresh session, reproducing the pre-crash reports byte-for-byte:
+//
+//	fleetctl -addr :8095 -wal session.wal ...        # killed hard
+//	fleetctl -addr :8095 -resume session.wal -wal session.wal ...
 package main
 
 import (
@@ -54,6 +62,8 @@ func main() {
 		window      = flag.Float64("window", sched.DefaultHorizonWindowS, "PredictiveHorizon projection window, seconds")
 		serveURL    = flag.String("serve", "", "resolve operating points via this powerserve base URL's /predict/batch (default: in-process model oracle)")
 		policyFlag  = flag.String("policy", "PredictiveHorizon", "scheduling policy: "+strings.Join(sched.Names(), ", "))
+		walPath     = flag.String("wal", "", "journal every admitted job to this append-only JSONL file, fsynced before the admission is acknowledged")
+		resumePath  = flag.String("resume", "", "replay this journal into the fresh session before serving (may be the same file as -wal)")
 	)
 	flag.Parse()
 
@@ -100,6 +110,29 @@ func main() {
 		fatal(err)
 	}
 	defer ctl.Close()
+
+	// Resume BEFORE opening the WAL for append: -resume and -wal may
+	// name the same file, and the journal must be read in full before
+	// new admissions extend it.
+	if *resumePath != "" {
+		jobs, err := fleet.ReadWAL(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ctl.Resume(context.Background(), jobs); err != nil {
+			fatal(err)
+		}
+		log.Printf("fleetctl: resumed %d jobs from %s", len(jobs), *resumePath)
+	}
+	if *walPath != "" {
+		wal, err := fleet.OpenWAL(*walPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer wal.Close()
+		ctl.AttachJournal(wal)
+		log.Printf("fleetctl: journaling admissions to %s", *walPath)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -1,12 +1,16 @@
 // Command powerrouter fronts a consistent-hash ring of powerserve
-// shards with the same five-endpoint HTTP API a single node serves
+// shards with the same six-endpoint HTTP API a single node serves
 // (internal/cluster over internal/serve.Handler): POST /predict routes
 // to the key's ring owner, POST /predict/batch is partitioned by owner
 // and fanned out/merged preserving item order and per-item errors,
 // POST /train broadcasts to the whole ring, GET /healthz aggregates
-// shard health and GET /metrics reports the router's cluster.* counters
-// next to ring-wide cache totals. Clients cannot tell a router from a
-// single node — sharded answers are byte-identical by construction.
+// shard health, GET /readyz distinguishes ready from live-but-degraded
+// and GET /metrics reports the router's cluster.* counters next to
+// ring-wide cache totals. Clients cannot tell a router from a single
+// node — sharded answers are byte-identical by construction, and the
+// resilience layer (per-attempt deadlines, budgeted retries with
+// jittered backoff, optional -fallback local degraded mode) keeps that
+// true while shards fail.
 //
 // Usage:
 //
@@ -54,11 +58,19 @@ func (s *shardList) Set(v string) error {
 func main() {
 	var shards shardList
 	var (
-		addr     = flag.String("addr", ":8090", "listen address")
-		vnodes   = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
-		hashseed = flag.Uint64("hashseed", 0, "ring placement seed (0 = built-in default; all routers must agree)")
-		maxSize  = flag.Int("maxsize", 512, "largest accepted GEMM dimension (must match the shards' -maxsize)")
-		cooldown = flag.Duration("cooldown", cluster.DefaultCooldown, "how long a down shard is skipped before retrying it")
+		addr           = flag.String("addr", ":8090", "listen address")
+		vnodes         = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
+		hashseed       = flag.Uint64("hashseed", 0, "ring placement seed (0 = built-in default; all routers must agree)")
+		maxSize        = flag.Int("maxsize", 512, "largest accepted GEMM dimension (must match the shards' -maxsize)")
+		cooldown       = flag.Duration("cooldown", cluster.DefaultCooldown, "how long a down shard is skipped before retrying it")
+		attemptTimeout = flag.Duration("attempt-timeout", cluster.DefaultAttemptTimeout, "per-attempt upstream deadline (negative = none)")
+		requestTimeout = flag.Duration("request-timeout", cluster.DefaultRequestTimeout, "backstop deadline for requests whose caller brought none (negative = none)")
+		retries        = flag.Int("retries", cluster.DefaultMaxRetries, "same-shard retries per request after the first attempt (0 or negative = none)")
+		retryBase      = flag.Duration("retry-base", cluster.DefaultRetryBase, "decorrelated-jitter backoff floor between retries")
+		retryCap       = flag.Duration("retry-cap", cluster.DefaultRetryCap, "decorrelated-jitter backoff ceiling between retries")
+		retryBudget    = flag.Int("retry-budget", cluster.DefaultRetryBudget, "token-bucket cap on extra upstream attempts (negative = unlimited)")
+		retryRefill    = flag.Float64("retry-refill", cluster.DefaultRetryRefillPerSec, "retry-budget tokens restored per second (negative = no refill)")
+		fallback       = flag.String("fallback", "", `"local" computes answers in-process when a key's every replica is down (responses carry "degraded": true)`)
 	)
 	flag.Var(&shards, "shard", "shard base URL (repeat once per shard, order-significant)")
 	flag.Parse()
@@ -67,17 +79,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "powerrouter: at least one -shard is required")
 		os.Exit(2)
 	}
+	if *fallback != "" && *fallback != "local" {
+		fmt.Fprintf(os.Stderr, "powerrouter: unknown -fallback %q (only \"local\" is supported)\n", *fallback)
+		os.Exit(2)
+	}
 
 	cfg := cluster.Config{
-		VirtualNodes: *vnodes,
-		Seed:         *hashseed,
-		MaxSize:      *maxSize,
-		Cooldown:     *cooldown,
+		VirtualNodes:      *vnodes,
+		Seed:              *hashseed,
+		MaxSize:           *maxSize,
+		Cooldown:          *cooldown,
+		AttemptTimeout:    *attemptTimeout,
+		MaxRetries:        *retries,
+		RetryBase:         *retryBase,
+		RetryCap:          *retryCap,
+		RetryBudget:       *retryBudget,
+		RetryRefillPerSec: *retryRefill,
+	}
+	if *retries <= 0 {
+		// On the command line 0 means what it says — no retries — while
+		// the zero Config value means "package default".
+		cfg.MaxRetries = -1
+	}
+	if *fallback == "local" {
+		// The fallback core must agree with the shards on request
+		// validation, so a degraded answer is rejected and accepted for
+		// exactly the same requests a shard would.
+		cfg.Fallback = serve.NewCore(serve.Config{MaxSize: *maxSize})
 	}
 	for _, u := range shards {
 		cfg.Shards = append(cfg.Shards, cluster.Shard{
 			Name:    u,
-			Backend: cluster.NewHTTPBackend(u, nil),
+			Backend: cluster.NewHTTPBackendConfig(u, nil, cluster.BackendConfig{RequestTimeout: *requestTimeout}),
 		})
 	}
 	client, err := cluster.New(cfg)

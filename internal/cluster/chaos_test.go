@@ -1,0 +1,141 @@
+package cluster
+
+// The chaos equivalence test — the tentpole proof of this layer:
+// replay a request stream through a 3-shard ring whose every shard
+// sits behind a seeded faultinject.Transport (connection refusals,
+// hangs, latency spikes, 5xx, truncated bodies), SIGKILL-equivalently
+// close one shard mid-stream, and require every response byte-identical
+// to a cold single node. Failover and retries must never change an
+// answer.
+//
+// Stream discipline: keys are distinct across the stream (duplicates
+// only within one batch). The cached flag is the one field failover
+// could change — a key computed on shard A, then re-asked and answered
+// by shard B after a fault, would flip cached:true to cached:false.
+// Distinct keys remove that channel entirely; in-batch duplicates are
+// safe because a re-routed batch moves the whole key group together.
+// Everything else in the payload is a pure function of the request.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// chaosStream builds a stream of distinct-key predicts and batches
+// (with in-batch duplicates, invalid items and request-level errors)
+// long enough that a 0.3-rate fault plan fires many times.
+func chaosStream() []streamStep {
+	var steps []streamStep
+	for i := 1; i <= 10; i++ {
+		steps = append(steps, streamStep{
+			"POST", "/predict",
+			fmt.Sprintf(`{"dtype": "FP16", "pattern": "constant(%d)", "size": 32}`, i),
+		})
+	}
+	steps = append(steps, streamStep{"POST", "/predict/batch", `{"requests": [
+		{"dtype": "FP16", "pattern": "constant(20)", "size": 32},
+		{"dtype": "FP16", "pattern": "constant(21)", "size": 32},
+		{"dtype": "FP16", "pattern": "constant( 20 )", "size": 32},
+		{"dtype": "FP16", "pattern": "frobnicate(", "size": 32},
+		{"dtype": "FP16", "pattern": "constant(22)", "size": 24}
+	]}`})
+	for i := 30; i < 36; i++ {
+		steps = append(steps, streamStep{
+			"POST", "/predict",
+			fmt.Sprintf(`{"dtype": "FP16", "pattern": "constant(%d)", "size": 24}`, i),
+		})
+	}
+	steps = append(steps, streamStep{"POST", "/predict/batch", `{"requests": [
+		{"dtype": "FP16", "pattern": "constant(40)", "size": 48},
+		{"dtype": "FP16", "pattern": "constant(41)", "size": 32},
+		{"dtype": "FP16", "pattern": "constant(41)", "size": 32},
+		{"dtype": "FP16", "pattern": "constant(42)", "size": 32}
+	]}`})
+	for i := 50; i < 56; i++ {
+		steps = append(steps, streamStep{
+			"POST", "/predict",
+			fmt.Sprintf(`{"dtype": "FP16", "pattern": "constant(%d)", "size": 32}`, i),
+		})
+	}
+	steps = append(steps, streamStep{"POST", "/predict", `{"dtype": "FP16", "pattern": "zorp(", "size": 32}`}) // 400
+	return steps
+}
+
+func TestChaosEquivalence(t *testing.T) {
+	stream := chaosStream()
+
+	// Reference: one cold, fault-free single node.
+	single := newShardServers(t, 1)[0]
+	want := replay(t, single.URL, stream)
+
+	// 3 cold shards, each behind a seeded fault-injecting transport.
+	shards := newShardServers(t, 3)
+	plan := faultinject.Generate(faultinject.GenSpec{
+		Seed:     11,
+		Shards:   3,
+		Requests: 64,
+		Rate:     0.3,
+		DelayMS:  5,
+	})
+	cfg := Config{
+		MaxSize: 192,
+		// Immediate half-open: a faulted shard rejoins the rotation on
+		// the next request, so the schedule keeps hitting every shard.
+		Cooldown:          time.Millisecond,
+		AttemptTimeout:    250 * time.Millisecond, // bounds the hang faults
+		RetryBase:         time.Millisecond,
+		RetryCap:          5 * time.Millisecond,
+		RetryBudget:       10000, // ample: this test proves identity, not the bound
+		RetryRefillPerSec: -1,
+	}
+	for i, srv := range shards {
+		hc := &http.Client{Transport: faultinject.NewTransport(plan, i, nil)}
+		cfg.Shards = append(cfg.Shards, Shard{Name: srv.URL, Backend: NewHTTPBackend(srv.URL, hc)})
+	}
+	client, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	router := httptest.NewServer(serve.Handler(client))
+	t.Cleanup(router.Close)
+
+	// Replay step by step, killing one shard mid-stream — the
+	// in-process analog of the CI smoke's SIGKILL: the listener drops
+	// and every in-flight and future connection to it is refused.
+	killAt := len(stream) / 2
+	got := make([][]byte, len(stream))
+	for i := range stream {
+		if i == killAt {
+			shards[2].Close()
+		}
+		got[i] = replay(t, router.URL, stream[i:i+1])[0]
+	}
+
+	for i := range stream {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("step %d (%s %s): chaos response differs from single node\nchaos:  %s\nsingle: %s",
+				i, stream[i].method, stream[i].path, got[i], want[i])
+		}
+	}
+
+	// The schedule must actually have fired: the plan is only a proof
+	// of resilience if retries and reroutes happened.
+	m := client.Metrics()
+	if m["cluster.retry.attempts"] == 0 {
+		t.Errorf("no same-shard retries under a 0.3-rate fault plan (metrics: %v)", m)
+	}
+	if m["cluster.reroutes"] == 0 {
+		t.Errorf("no failovers despite a killed shard (metrics: %v)", m)
+	}
+	if m["cluster.budget.exhausted"] != 0 {
+		t.Errorf("budget exhausted mid-test; raise RetryBudget (metrics: %v)", m)
+	}
+}

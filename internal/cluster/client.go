@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -49,6 +50,39 @@ type Config struct {
 	// Cooldown is how long a down shard is skipped before the client
 	// retries it (0 = DefaultCooldown, negative = never retry).
 	Cooldown time.Duration
+	// AttemptTimeout bounds each upstream attempt; its expiry is an
+	// outage (TransportError.Timeout), not the caller's cancellation
+	// (0 = DefaultAttemptTimeout, negative = none). Train is exempt:
+	// retrains legitimately run far longer than any sane per-attempt
+	// budget, and a half-applied broadcast is worse than a slow one.
+	AttemptTimeout time.Duration
+	// MaxRetries is the same-shard retry allowance per request after
+	// the initial attempt, spent only on transport failures whose
+	// response never arrived (0 = DefaultMaxRetries, negative = none).
+	MaxRetries int
+	// RetryBase and RetryCap bound the decorrelated-jitter backoff
+	// between same-shard retries (0 = DefaultRetryBase/DefaultRetryCap).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// RetryBudget caps extra upstream attempts — same-shard retries and
+	// failover hops beyond each request's first attempt — across the
+	// whole client, token-bucket style, so a dying ring cannot amplify
+	// offered load into a retry storm (0 = DefaultRetryBudget,
+	// negative = unlimited).
+	RetryBudget int
+	// RetryRefillPerSec restores budget tokens over time
+	// (0 = DefaultRetryRefillPerSec, negative = no refill).
+	RetryRefillPerSec float64
+	// RetrySeed seeds the backoff jitter (0 = a fixed default, so runs
+	// are reproducible unless an operator opts into a fresh seed).
+	RetrySeed uint64
+	// Fallback, when set, answers requests whose every replica is
+	// unreachable by computing locally (cmd/powerrouter's -fallback
+	// local wires a serve.Core here). Fallback responses carry the
+	// Degraded marker, and a client with a fallback reports "degraded"
+	// rather than "down" when the whole ring is out. Budget exhaustion
+	// does NOT fall back: overload protection must not amplify load.
+	Fallback serve.Backend
 }
 
 // Client routes requests across the shard ring. All methods are safe
@@ -58,15 +92,23 @@ type Client struct {
 	ring   *Ring
 	shards []*shardState
 
-	metrics     *telemetry.MetricSet
-	requests    *telemetry.Counter
-	batches     *telemetry.Counter
-	items       *telemetry.Counter
-	subbatches  *telemetry.Counter
-	reroutes    *telemetry.Counter
-	shardErrors *telemetry.Counter
-	failures    *telemetry.Counter
-	downGauge   *telemetry.Gauge
+	retryDelay *backoff
+	budget     *tokenBucket // nil = unlimited
+
+	metrics         *telemetry.MetricSet
+	requests        *telemetry.Counter
+	batches         *telemetry.Counter
+	items           *telemetry.Counter
+	subbatches      *telemetry.Counter
+	reroutes        *telemetry.Counter
+	shardErrors     *telemetry.Counter
+	failures        *telemetry.Counter
+	retryAttempts   *telemetry.Counter
+	retryRecovered  *telemetry.Counter
+	budgetSpent     *telemetry.Counter
+	budgetExhausted *telemetry.Counter
+	fallbackServed  *telemetry.Counter
+	downGauge       *telemetry.Gauge
 }
 
 // shardState tracks one ring member's reachability.
@@ -87,20 +129,47 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Cooldown == 0 {
 		cfg.Cooldown = DefaultCooldown
 	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = DefaultRetryCap
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
+	if cfg.RetryRefillPerSec == 0 {
+		cfg.RetryRefillPerSec = DefaultRetryRefillPerSec
+	}
+	if cfg.RetrySeed == 0 {
+		cfg.RetrySeed = defaultRetrySeed
+	}
 	m := telemetry.NewMetricSet()
 	c := &Client{
-		cfg:         cfg,
-		ring:        NewRing(len(cfg.Shards), cfg.VirtualNodes, cfg.Seed),
-		shards:      make([]*shardState, len(cfg.Shards)),
-		metrics:     m,
-		requests:    m.Counter("cluster.requests"),
-		batches:     m.Counter("cluster.batch.requests"),
-		items:       m.Counter("cluster.batch.items"),
-		subbatches:  m.Counter("cluster.batch.subbatches"),
-		reroutes:    m.Counter("cluster.reroutes"),
-		shardErrors: m.Counter("cluster.shard.errors"),
-		failures:    m.Counter("cluster.failures"),
-		downGauge:   m.Gauge("cluster.shards.down"),
+		cfg:             cfg,
+		ring:            NewRing(len(cfg.Shards), cfg.VirtualNodes, cfg.Seed),
+		shards:          make([]*shardState, len(cfg.Shards)),
+		retryDelay:      newBackoff(cfg.RetryBase, cfg.RetryCap, cfg.RetrySeed),
+		metrics:         m,
+		requests:        m.Counter("cluster.requests"),
+		batches:         m.Counter("cluster.batch.requests"),
+		items:           m.Counter("cluster.batch.items"),
+		subbatches:      m.Counter("cluster.batch.subbatches"),
+		reroutes:        m.Counter("cluster.reroutes"),
+		shardErrors:     m.Counter("cluster.shard.errors"),
+		failures:        m.Counter("cluster.failures"),
+		retryAttempts:   m.Counter("cluster.retry.attempts"),
+		retryRecovered:  m.Counter("cluster.retry.recovered"),
+		budgetSpent:     m.Counter("cluster.budget.spent"),
+		budgetExhausted: m.Counter("cluster.budget.exhausted"),
+		fallbackServed:  m.Counter("cluster.fallback.served"),
+		downGauge:       m.Gauge("cluster.shards.down"),
+	}
+	if cfg.RetryBudget > 0 {
+		c.budget = newTokenBucket(cfg.RetryBudget, cfg.RetryRefillPerSec)
 	}
 	for i, s := range cfg.Shards {
 		if s.Backend == nil {
@@ -183,9 +252,13 @@ func (c *Client) noteUp(s *shardState) {
 }
 
 // Predict routes one prediction to the key's owner, walking the ring's
-// preference sequence past down shards. Only transport failures
-// re-route: an in-band rejection is deterministic and would be
-// identical on every shard.
+// preference sequence past down shards. Each shard gets the retry
+// policy's allowance of same-shard attempts (retryCall); only
+// transport failures move on — an in-band rejection is deterministic
+// and would be identical on every shard. A shard that needed a retry
+// but ultimately answered is NOT marked down: the answer proves it
+// alive. When no replica is reachable and a fallback is configured,
+// the answer is computed locally and marked Degraded.
 func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.PredictResponse, error) {
 	c.requests.Inc()
 	res, err := serve.ResolveRequest(req, c.cfg.MaxSize)
@@ -194,6 +267,7 @@ func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.
 		return nil, err
 	}
 	seq := c.ring.Sequence(res.Key.RouteString())
+	first := true
 	var lastTransport error
 	for hop, idx := range seq {
 		s := c.shards[idx]
@@ -203,13 +277,23 @@ func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.
 		if hop > 0 {
 			c.reroutes.Inc()
 		}
-		resp, err := s.backend.Predict(ctx, req)
+		resp, err := retryCall(c, ctx, s, &first, func(actx context.Context) (*serve.PredictResponse, error) {
+			return s.backend.Predict(actx, req)
+		})
 		if err == nil {
 			c.noteUp(s)
 			return resp, nil
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
+		}
+		var be *BudgetError
+		if errors.As(err, &be) {
+			// Terminal by design: retrying or falling over past an
+			// exhausted budget is exactly the load amplification the
+			// budget exists to prevent.
+			c.failures.Inc()
+			return nil, err
 		}
 		if isTransport(err) {
 			c.noteDown(s)
@@ -221,6 +305,16 @@ func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.
 		c.noteUp(s)
 		c.failures.Inc()
 		return nil, err
+	}
+	if c.cfg.Fallback != nil {
+		resp, err := c.cfg.Fallback.Predict(ctx, req)
+		if err != nil {
+			c.failures.Inc()
+			return nil, err
+		}
+		resp.Degraded = true
+		c.fallbackServed.Inc()
+		return resp, nil
 	}
 	c.failures.Inc()
 	return nil, noShardError(lastTransport)
@@ -242,7 +336,8 @@ type pendingItem struct {
 // Coalesced are the sums over sub-batches — equal to the single-node
 // counts because the keyspace partition is exact. When a sub-batch
 // fails in transport its items re-route to each key's next preferred
-// shard; items with no reachable shard left fail alone.
+// shard; items with no reachable shard left fail alone — or, with a
+// fallback configured, are computed locally and marked Degraded.
 func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*serve.BatchResponse, error) {
 	if len(req.Requests) == 0 {
 		c.failures.Inc()
@@ -268,6 +363,8 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 	}
 
 	var mu sync.Mutex // guards resp.Distinct/Coalesced merges
+	var fbPending []*pendingItem
+	round := 0
 	for len(pending) > 0 {
 		// Snapshot availability once per round: available() admits at
 		// most one half-open probe per cooldown, and a per-item check
@@ -292,6 +389,10 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 				p.hop++
 			}
 			if target < 0 {
+				if c.cfg.Fallback != nil {
+					fbPending = append(fbPending, p)
+					continue
+				}
 				c.failures.Inc()
 				resp.Items[p.idx] = serve.BatchItem{Error: noShardError(nil).Error()}
 				continue
@@ -307,11 +408,15 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 
 		// Fan out one sub-batch per shard; collect the items each
 		// transport failure sends around the ring for the next round.
+		// Budget accounting treats each sub-batch round trip as one
+		// upstream attempt: a round-0 sub-batch is a request's first
+		// attempt (free), every requeued round and every same-shard
+		// retry inside retryCall draws a token.
 		requeue := make([][]*pendingItem, len(shardOrder))
 		var wg sync.WaitGroup
 		for gi, shardIdx := range shardOrder {
 			wg.Add(1)
-			go func(gi, shardIdx int, members []*pendingItem) {
+			go func(gi, shardIdx int, members []*pendingItem, firstAttempt bool) {
 				defer wg.Done()
 				s := c.shards[shardIdx]
 				c.subbatches.Inc()
@@ -319,13 +424,20 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 				for i, p := range members {
 					sub.Requests[i] = req.Requests[p.idx]
 				}
-				sr, err := s.backend.PredictBatch(ctx, sub)
-				if err == nil && len(sr.Items) != len(members) {
-					err = &TransportError{
-						Shard: s.name,
-						Err:   fmt.Errorf("batch returned %d items for %d requests", len(sr.Items), len(members)),
+				sr, err := retryCall(c, ctx, s, &firstAttempt, func(actx context.Context) (*serve.BatchResponse, error) {
+					sr, err := s.backend.PredictBatch(actx, sub)
+					if err == nil && len(sr.Items) != len(members) {
+						// A mis-sized response was still a response: the
+						// shard processed the batch, so fail over rather
+						// than replay it there.
+						err = &TransportError{
+							Shard:    s.name,
+							Err:      fmt.Errorf("batch returned %d items for %d requests", len(sr.Items), len(members)),
+							Received: true,
+						}
 					}
-				}
+					return sr, err
+				})
 				if err == nil {
 					c.noteUp(s)
 					for i, p := range members {
@@ -342,6 +454,16 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 					// way a single node's pool reports cancelled
 					// groups, and do not blame the shard.
 					for _, p := range members {
+						resp.Items[p.idx] = serve.BatchItem{Error: err.Error()}
+					}
+					return
+				}
+				var be *BudgetError
+				if errors.As(err, &be) {
+					// Exhausted budget is terminal in-band; these items
+					// neither re-route nor fall back.
+					for _, p := range members {
+						c.failures.Inc()
 						resp.Items[p.idx] = serve.BatchItem{Error: err.Error()}
 					}
 					return
@@ -363,7 +485,7 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 				for _, p := range members {
 					resp.Items[p.idx] = serve.BatchItem{Error: err.Error()}
 				}
-			}(gi, shardIdx, groups[shardIdx])
+			}(gi, shardIdx, groups[shardIdx], round == 0)
 		}
 		wg.Wait()
 
@@ -375,8 +497,48 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 		// sees first occurrences of a key in the same relative order a
 		// single node would.
 		sort.Slice(pending, func(a, b int) bool { return pending[a].idx < pending[b].idx })
+		round++
+	}
+	if len(fbPending) > 0 {
+		c.fallbackBatch(ctx, req, resp, fbPending, &mu)
 	}
 	return resp, nil
+}
+
+// fallbackBatch answers the items whose every replica was unreachable
+// by computing them locally on the configured fallback core. Items are
+// replayed in request order (duplicates of one key moved here together,
+// so coalescing accounting carries over) and every answer is marked
+// Degraded.
+func (c *Client) fallbackBatch(ctx context.Context, req serve.BatchRequest, resp *serve.BatchResponse, members []*pendingItem, mu *sync.Mutex) {
+	sort.Slice(members, func(a, b int) bool { return members[a].idx < members[b].idx })
+	sub := serve.BatchRequest{Requests: make([]serve.PredictRequest, len(members))}
+	for i, p := range members {
+		sub.Requests[i] = req.Requests[p.idx]
+	}
+	sr, err := c.cfg.Fallback.PredictBatch(ctx, sub)
+	if err == nil && len(sr.Items) != len(members) {
+		err = fmt.Errorf("cluster: fallback returned %d items for %d requests", len(sr.Items), len(members))
+	}
+	if err != nil {
+		for _, p := range members {
+			c.failures.Inc()
+			resp.Items[p.idx] = serve.BatchItem{Error: err.Error()}
+		}
+		return
+	}
+	for i, p := range members {
+		item := sr.Items[i]
+		if item.Response != nil {
+			item.Response.Degraded = true
+			c.fallbackServed.Inc()
+		}
+		resp.Items[p.idx] = item
+	}
+	mu.Lock()
+	resp.Distinct += sr.Distinct
+	resp.Coalesced += sr.Coalesced
+	mu.Unlock()
 }
 
 // Train broadcasts the retrain to every shard: the keyspace for one
@@ -385,7 +547,12 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 // response reports the first shard's fit (all shards train the same
 // deterministic sweep, so the weights are identical) with Purged
 // summed across the ring. Any shard failure fails the call — a
-// half-trained ring would serve two models for one keyspace.
+// half-trained ring would serve two models for one keyspace. Train is
+// exempt from per-attempt timeouts and retries: retrains legitimately
+// outlive any per-attempt budget, and a retried broadcast could apply
+// twice on some shards while a caller-visible failure is already the
+// safe outcome (the ring still serves the old model everywhere the
+// train failed to land, and the caller re-issues).
 func (c *Client) Train(ctx context.Context, req serve.TrainRequest) (*serve.TrainResponse, error) {
 	c.requests.Inc()
 	type result struct {
@@ -432,10 +599,13 @@ func (c *Client) Train(ctx context.Context, req serve.TrainRequest) (*serve.Trai
 }
 
 // Health polls every shard and aggregates: status "ok" when the whole
-// ring answered, "degraded" when some shards are down, "down" when
-// none answered. Devices and dtypes come from the first healthy shard
-// (the vocabulary is identical everywhere); CacheLen is the ring-wide
-// total.
+// ring answered, "degraded" when some shards are down — or when the
+// whole ring is out but a fallback core can still answer (live but
+// degraded) — and "down" when none answered and nothing can. Each
+// probe runs under its own AttemptTimeout so one hung shard cannot
+// stall the whole health report. Devices and dtypes come from the
+// first healthy shard (the vocabulary is identical everywhere);
+// CacheLen is the ring-wide total.
 func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
 	healths := make([]*serve.HealthResponse, len(c.shards))
 	var wg sync.WaitGroup
@@ -443,9 +613,15 @@ func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
 		wg.Add(1)
 		go func(i int, s *shardState) {
 			defer wg.Done()
-			h, err := s.backend.Health(ctx)
+			probeCtx := ctx
+			var cancel context.CancelFunc
+			if c.cfg.AttemptTimeout > 0 {
+				probeCtx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+				defer cancel()
+			}
+			h, err := s.backend.Health(probeCtx)
 			if err != nil {
-				if ctx.Err() == nil && isTransport(err) {
+				if ctx.Err() == nil && isTransport(classify(ctx, probeCtx, s.name, err)) {
 					c.noteDown(s)
 				}
 				return
@@ -490,6 +666,11 @@ func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
 		out.Status = "ok"
 	case up > 0:
 		out.Status = "degraded"
+	case c.cfg.Fallback != nil:
+		// Whole ring out, but the local fallback keeps answering:
+		// live-but-degraded, which GET /readyz surfaces as 503 while
+		// /healthz stays an honest "the process is up".
+		out.Status = "degraded"
 	}
 	return out, nil
 }
@@ -513,10 +694,13 @@ func (c *Client) Metrics() map[string]int64 {
 	return out
 }
 
-// Close closes every shard backend.
+// Close closes every shard backend and the fallback, if any.
 func (c *Client) Close() {
 	for _, s := range c.shards {
 		s.backend.Close()
+	}
+	if c.cfg.Fallback != nil {
+		c.cfg.Fallback.Close()
 	}
 }
 

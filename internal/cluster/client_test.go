@@ -435,13 +435,47 @@ func TestTrainBroadcastsAndSumsPurges(t *testing.T) {
 	}
 }
 
+// TestRetryAbsorbsTransientFlake: with the default retry policy a
+// single transport flake is retried on the same shard and answered —
+// and a retried-then-successful shard must NOT be marked down.
+func TestRetryAbsorbsTransientFlake(t *testing.T) {
+	cores := newCores(t, 1)
+	flaky := &flakyBackend{inner: cores[0], failures: 1}
+	client, err := New(Config{
+		Shards:    []Shard{{Name: "flaky", Backend: flaky}},
+		MaxSize:   192,
+		Cooldown:  time.Millisecond,
+		RetryBase: time.Millisecond,
+		RetryCap:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := serve.PredictRequest{DType: "FP16", Pattern: "constant(1)", Size: 32}
+	if _, err := client.Predict(context.Background(), req); err != nil {
+		t.Fatalf("retry must absorb a single flake: %v", err)
+	}
+	m := client.Metrics()
+	if m["cluster.shards.down"] != 0 {
+		t.Fatalf("retried-then-successful shard marked down (metrics: %v)", m)
+	}
+	if m["cluster.retry.attempts"] == 0 || m["cluster.retry.recovered"] == 0 {
+		t.Fatalf("retry counters did not move (metrics: %v)", m)
+	}
+}
+
+// TestShardRecoversAfterCooldown preserves the pre-retry semantics:
+// with retries disabled a flaked shard fails the call, is marked down,
+// and recovers through the half-open probe once the cooldown elapses.
 func TestShardRecoversAfterCooldown(t *testing.T) {
 	cores := newCores(t, 1)
 	flaky := &flakyBackend{inner: cores[0], failures: 1}
 	client, err := New(Config{
-		Shards:   []Shard{{Name: "flaky", Backend: flaky}},
-		MaxSize:  192,
-		Cooldown: time.Millisecond,
+		Shards:     []Shard{{Name: "flaky", Backend: flaky}},
+		MaxSize:    192,
+		Cooldown:   time.Millisecond,
+		MaxRetries: -1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -449,7 +483,7 @@ func TestShardRecoversAfterCooldown(t *testing.T) {
 
 	req := serve.PredictRequest{DType: "FP16", Pattern: "constant(1)", Size: 32}
 	if _, err := client.Predict(context.Background(), req); err == nil {
-		t.Fatal("first call must fail (shard flaked, no fallback)")
+		t.Fatal("first call must fail (shard flaked, retries disabled, no fallback)")
 	}
 	if m := client.Metrics(); m["cluster.shards.down"] != 1 {
 		t.Fatalf("shard not marked down (metrics: %v)", m)

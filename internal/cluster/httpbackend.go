@@ -30,6 +30,18 @@ type TransportError struct {
 	Shard string
 	// Err is the underlying failure.
 	Err error
+	// Timeout marks an attempt that died to a deadline the transport
+	// layer owned (the backend's request timeout or the cluster
+	// client's per-attempt deadline) while the caller's own context was
+	// still live — an outage signal, unlike caller cancellation, which
+	// is never a TransportError at all.
+	Timeout bool
+	// Received marks that response bytes arrived before the failure
+	// (truncated body, undecodable payload): the shard processed the
+	// request even though the caller never got the answer. The retry
+	// layer must not replay such an attempt on the same shard — the
+	// work happened — so it fails over instead.
+	Received bool
 }
 
 // Error formats the transport failure.
@@ -40,23 +52,68 @@ func (e *TransportError) Error() string {
 // Unwrap exposes the underlying failure.
 func (e *TransportError) Unwrap() error { return e.Err }
 
+// Default HTTPBackend deadlines, applied only when the caller's
+// context carries none of its own.
+const (
+	// DefaultRequestTimeout bounds one POST round trip when the caller
+	// supplied no deadline — wide enough for the slow /train path.
+	DefaultRequestTimeout = 5 * time.Minute
+	// DefaultMetricsTimeout bounds the advisory Metrics fetch, which
+	// has no caller context to inherit a deadline from.
+	DefaultMetricsTimeout = 2 * time.Second
+)
+
+// BackendConfig tunes an HTTPBackend's own deadlines. The zero value
+// is the historical behaviour (5-minute requests, 2-second metrics
+// probes); negative values disable the corresponding default so only
+// caller-supplied deadlines apply.
+type BackendConfig struct {
+	// RequestTimeout is the deadline applied to a request whose caller
+	// context has none (0 = DefaultRequestTimeout, negative = none).
+	// Callers that do carry a deadline — e.g. the cluster client's
+	// per-attempt timeout — always win: this default is a backstop, not
+	// a cap.
+	RequestTimeout time.Duration
+	// MetricsTimeout bounds the best-effort Metrics snapshot fetch
+	// (0 = DefaultMetricsTimeout, negative = none).
+	MetricsTimeout time.Duration
+}
+
+func (c BackendConfig) withDefaults() BackendConfig {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MetricsTimeout == 0 {
+		c.MetricsTimeout = DefaultMetricsTimeout
+	}
+	return c
+}
+
 // HTTPBackend implements serve.Backend over a powerserve (or nested
 // powerrouter) base URL.
 type HTTPBackend struct {
 	base   string
 	client *http.Client
+	cfg    BackendConfig
 }
 
-// NewHTTPBackend wraps a server root, e.g. "http://shard0:8090"
-// (client nil = a dedicated client with a timeout wide enough for the
-// slow /train path and a connection pool deep enough that a router
-// fanning out a concurrent batch load does not churn shard
-// connections — net/http's default of 2 idle conns per host collapses
-// under fan-out concurrency).
+// NewHTTPBackend wraps a server root, e.g. "http://shard0:8090", with
+// default deadlines (client nil = a dedicated client with a connection
+// pool deep enough that a router fanning out a concurrent batch load
+// does not churn shard connections — net/http's default of 2 idle
+// conns per host collapses under fan-out concurrency).
 func NewHTTPBackend(baseURL string, client *http.Client) *HTTPBackend {
+	return NewHTTPBackendConfig(baseURL, client, BackendConfig{})
+}
+
+// NewHTTPBackendConfig is NewHTTPBackend with explicit deadline
+// configuration. Deadlines live here, not on http.Client.Timeout: a
+// client-level timeout would silently cap every caller-supplied
+// context, while these defaults only fill in when the caller brought
+// no deadline at all.
+func NewHTTPBackendConfig(baseURL string, client *http.Client, cfg BackendConfig) *HTTPBackend {
 	if client == nil {
 		client = &http.Client{
-			Timeout: 5 * time.Minute,
 			Transport: &http.Transport{
 				MaxIdleConns:        256,
 				MaxIdleConnsPerHost: 256,
@@ -64,7 +121,7 @@ func NewHTTPBackend(baseURL string, client *http.Client) *HTTPBackend {
 			},
 		}
 	}
-	return &HTTPBackend{base: baseURL, client: client}
+	return &HTTPBackend{base: baseURL, client: client, cfg: cfg.withDefaults()}
 }
 
 // Name returns the backend's base URL.
@@ -110,8 +167,12 @@ func (b *HTTPBackend) Health(ctx context.Context) (*serve.HealthResponse, error)
 // unreachable shard yields nil (the interface has no error slot, and
 // metrics are advisory).
 func (b *HTTPBackend) Metrics() map[string]int64 {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
+	ctx := context.Background()
+	if b.cfg.MetricsTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.cfg.MetricsTimeout)
+		defer cancel()
+	}
 	var resp serve.MetricsResponse
 	if err := b.get(ctx, "/metrics", &resp); err != nil {
 		return nil
@@ -128,36 +189,55 @@ func (b *HTTPBackend) post(ctx context.Context, path string, in, out any) error 
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return b.do(req, out)
+	return b.do(ctx, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, out)
 }
 
 // get round-trips one GET.
 func (b *HTTPBackend) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return b.do(req, out)
+	return b.do(ctx, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	}, out)
 }
 
 // do executes the request and classifies the outcome: transport
 // failures and malformed bodies become *TransportError, shard-side
 // validation rejections become *serve.RequestError (so the router
 // reports them as HTTP 400 with the shard's exact wording), everything
-// else is an opaque server error.
-func (b *HTTPBackend) do(req *http.Request, out any) error {
+// else is an opaque server error. When the caller's context carries no
+// deadline, the backend applies its own RequestTimeout and reports its
+// expiry as a Timeout TransportError (an outage), never as the
+// caller's cancellation.
+func (b *HTTPBackend) do(callerCtx context.Context, build func(context.Context) (*http.Request, error), out any) error {
+	ctx := callerCtx
+	if b.cfg.RequestTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, b.cfg.RequestTimeout)
+			defer cancel()
+		}
+	}
+	req, err := build(ctx)
+	if err != nil {
+		return err
+	}
 	httpResp, err := b.client.Do(req)
 	if err != nil {
 		// A caller-cancelled context is the caller's doing, not an
 		// outage; report it as such so the client does not mark the
-		// shard down or re-route.
-		if ctxErr := req.Context().Err(); ctxErr != nil {
+		// shard down or re-route. Expiry of the backend's own default
+		// deadline (caller context still live) IS an outage.
+		if ctxErr := callerCtx.Err(); ctxErr != nil {
 			return ctxErr
+		}
+		if ctx.Err() != nil {
+			return &TransportError{Shard: b.base, Err: err, Timeout: true}
 		}
 		return &TransportError{Shard: b.base, Err: err}
 	}
@@ -169,8 +249,9 @@ func (b *HTTPBackend) do(req *http.Request, out any) error {
 		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
 		if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
 			return &TransportError{
-				Shard: b.base,
-				Err:   fmt.Errorf("status %d with undecodable body %q", httpResp.StatusCode, truncate(raw, 128)),
+				Shard:    b.base,
+				Err:      fmt.Errorf("status %d with undecodable body %q", httpResp.StatusCode, truncate(raw, 128)),
+				Received: true,
 			}
 		}
 		if httpResp.StatusCode == http.StatusBadRequest {
@@ -179,10 +260,16 @@ func (b *HTTPBackend) do(req *http.Request, out any) error {
 		return fmt.Errorf("cluster: shard %s: status %d: %s", b.base, httpResp.StatusCode, eb.Error)
 	}
 	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
-		if ctxErr := req.Context().Err(); ctxErr != nil {
+		if ctxErr := callerCtx.Err(); ctxErr != nil {
 			return ctxErr
 		}
-		return &TransportError{Shard: b.base, Err: fmt.Errorf("malformed response: %w", err)}
+		// Bytes arrived and then broke mid-body: the shard has done the
+		// work. Received tells the retry layer to fail over rather than
+		// replay the same shard.
+		if ctx.Err() != nil {
+			return &TransportError{Shard: b.base, Err: fmt.Errorf("malformed response: %w", err), Timeout: true, Received: true}
+		}
+		return &TransportError{Shard: b.base, Err: fmt.Errorf("malformed response: %w", err), Received: true}
 	}
 	return nil
 }

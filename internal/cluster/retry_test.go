@@ -1,0 +1,380 @@
+package cluster
+
+// Failure-semantics coverage: backoff jitter bounds, retry-budget
+// exhaustion (the bounded-retry-storm guarantee), deadline-exceeded vs
+// outage classification, and graceful degradation through the local
+// fallback.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestBackoffJitterBounds(t *testing.T) {
+	const base, cap = 25 * time.Millisecond, 250 * time.Millisecond
+	cases := []struct{ seed uint64 }{{1}, {2}, {12345}}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("seed=%d", tc.seed), func(t *testing.T) {
+			b := newBackoff(base, cap, tc.seed)
+			prev := base
+			for i := 0; i < 100; i++ {
+				hi := 3 * prev
+				if hi > cap {
+					hi = cap
+				}
+				d := b.next(prev)
+				if d < base || (hi > base && d > hi) || d > cap {
+					t.Fatalf("step %d: delay %v outside [%v, min(3*%v, %v)]", i, d, base, prev, cap)
+				}
+				prev = d
+			}
+		})
+	}
+
+	// Seeded means reproducible: two backoffs with one seed agree.
+	a, b := newBackoff(base, cap, 7), newBackoff(base, cap, 7)
+	prevA, prevB := base, base
+	for i := 0; i < 20; i++ {
+		da, db := a.next(prevA), b.next(prevB)
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		prevA, prevB = da, db
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTokenBucket(2, 1) // 2 tokens, 1 token/s
+	b.now = func() time.Time { return now }
+	b.last = now
+
+	if !b.take() || !b.take() {
+		t.Fatal("fresh bucket must grant its capacity")
+	}
+	if b.take() {
+		t.Fatal("empty bucket granted a token")
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if !b.take() {
+		t.Fatal("refill after 1.5s at 1/s must grant a token")
+	}
+	if b.take() {
+		t.Fatal("only one token should have refilled")
+	}
+	// Refill never exceeds capacity.
+	now = now.Add(time.Hour)
+	if !b.take() || !b.take() {
+		t.Fatal("bucket must refill to capacity")
+	}
+	if b.take() {
+		t.Fatal("bucket refilled beyond capacity")
+	}
+}
+
+// countingBackend is permanently down and counts upstream attempts —
+// the instrument for the bounded-retry-storm assertion.
+type countingBackend struct {
+	name     string
+	attempts *int64
+}
+
+func (b *countingBackend) fail() error {
+	atomic.AddInt64(b.attempts, 1)
+	return &TransportError{Shard: b.name, Err: fmt.Errorf("connection refused")}
+}
+
+func (b *countingBackend) Predict(ctx context.Context, req serve.PredictRequest) (*serve.PredictResponse, error) {
+	return nil, b.fail()
+}
+
+func (b *countingBackend) PredictBatch(ctx context.Context, req serve.BatchRequest) (*serve.BatchResponse, error) {
+	return nil, b.fail()
+}
+
+func (b *countingBackend) Train(ctx context.Context, req serve.TrainRequest) (*serve.TrainResponse, error) {
+	return nil, b.fail()
+}
+
+func (b *countingBackend) Health(ctx context.Context) (*serve.HealthResponse, error) {
+	return nil, b.fail()
+}
+
+func (b *countingBackend) Metrics() map[string]int64 { return nil }
+func (b *countingBackend) Close()                    {}
+
+// TestRetryBudgetBoundsAttempts is the retry-storm bound: with every
+// shard down and no token refill, N requests may cost at most N free
+// first attempts plus the budget's capacity in extra attempts, no
+// matter how many shards, retries and failover hops the routing loop
+// would otherwise try.
+func TestRetryBudgetBoundsAttempts(t *testing.T) {
+	const (
+		requests = 6
+		budget   = 7
+	)
+	var attempts int64
+	var shards []Shard
+	for i := 0; i < 3; i++ {
+		shards = append(shards, Shard{
+			Name:    fmt.Sprintf("dead%d", i),
+			Backend: &countingBackend{name: fmt.Sprintf("dead%d", i), attempts: &attempts},
+		})
+	}
+	client, err := New(Config{
+		Shards:            shards,
+		MaxSize:           192,
+		Cooldown:          time.Nanosecond, // keep dead shards in rotation
+		RetryBase:         time.Microsecond,
+		RetryCap:          10 * time.Microsecond,
+		RetryBudget:       budget,
+		RetryRefillPerSec: -1, // no refill: the bound is exact
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var budgetErrs int
+	for i := 0; i < requests; i++ {
+		req := serve.PredictRequest{DType: "FP16", Pattern: fmt.Sprintf("constant(%d)", i+1), Size: 32}
+		_, err := client.Predict(context.Background(), req)
+		if err == nil {
+			t.Fatalf("request %d: succeeded against an all-dead ring", i)
+		}
+		var be *BudgetError
+		if errors.As(err, &be) {
+			budgetErrs++
+		}
+	}
+
+	if got := atomic.LoadInt64(&attempts); got > requests+budget {
+		t.Fatalf("retry storm unbounded: %d upstream attempts > %d requests + %d budget", got, requests, budget)
+	} else if got < requests {
+		t.Fatalf("implausibly few attempts: %d < %d requests", got, requests)
+	}
+	if budgetErrs == 0 {
+		t.Fatal("no request surfaced a BudgetError despite exhaustion")
+	}
+	m := client.Metrics()
+	if m["cluster.budget.exhausted"] == 0 {
+		t.Fatalf("cluster.budget.exhausted not counted (metrics: %v)", m)
+	}
+	if m["cluster.budget.spent"] != budget {
+		t.Fatalf("cluster.budget.spent = %d, want the full budget %d", m["cluster.budget.spent"], budget)
+	}
+}
+
+// hangBackend never answers; the attempt ends only via context.
+type hangBackend struct{ name string }
+
+func (b *hangBackend) Predict(ctx context.Context, req serve.PredictRequest) (*serve.PredictResponse, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (b *hangBackend) PredictBatch(ctx context.Context, req serve.BatchRequest) (*serve.BatchResponse, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (b *hangBackend) Train(ctx context.Context, req serve.TrainRequest) (*serve.TrainResponse, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (b *hangBackend) Health(ctx context.Context) (*serve.HealthResponse, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (b *hangBackend) Metrics() map[string]int64 { return nil }
+func (b *hangBackend) Close()                    {}
+
+// TestDeadlineClassification distinguishes the two ways a deadline can
+// kill an attempt: expiry of the client's own per-attempt timeout is
+// an outage (TransportError with Timeout set, shard marked down),
+// while expiry of the caller's context is the caller's verdict — never
+// a TransportError, and never held against the shard.
+func TestDeadlineClassification(t *testing.T) {
+	req := serve.PredictRequest{DType: "FP16", Pattern: "constant(1)", Size: 32}
+
+	t.Run("attempt-timeout-is-outage", func(t *testing.T) {
+		client, err := New(Config{
+			Shards:         []Shard{{Name: "hung", Backend: &hangBackend{name: "hung"}}},
+			MaxSize:        192,
+			Cooldown:       -1,
+			AttemptTimeout: 20 * time.Millisecond,
+			MaxRetries:     -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = client.Predict(context.Background(), req)
+		var te *TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("want TransportError from attempt timeout, got %v", err)
+		}
+		if !te.Timeout {
+			t.Fatalf("attempt-deadline expiry not flagged Timeout: %+v", te)
+		}
+		if m := client.Metrics(); m["cluster.shards.down"] != 1 {
+			t.Fatalf("hung shard not marked down (metrics: %v)", m)
+		}
+	})
+
+	t.Run("caller-deadline-is-not-outage", func(t *testing.T) {
+		client, err := New(Config{
+			Shards:         []Shard{{Name: "hung", Backend: &hangBackend{name: "hung"}}},
+			MaxSize:        192,
+			Cooldown:       -1,
+			AttemptTimeout: time.Minute, // far beyond the caller's
+			MaxRetries:     -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		_, err = client.Predict(ctx, req)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want the caller's DeadlineExceeded, got %v", err)
+		}
+		if isTransport(err) {
+			t.Fatalf("caller cancellation misclassified as transport: %v", err)
+		}
+		if m := client.Metrics(); m["cluster.shards.down"] != 0 {
+			t.Fatalf("shard blamed for the caller's deadline (metrics: %v)", m)
+		}
+	})
+}
+
+// TestHTTPBackendRequestTimeout: the backend's own default deadline
+// (formerly a hardcoded http.Client timeout) fires only when the
+// caller brought none, and its expiry is an outage, not a caller
+// cancellation.
+func TestHTTPBackendRequestTimeout(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(500 * time.Millisecond):
+		}
+	}))
+	defer slow.Close()
+
+	req := serve.PredictRequest{DType: "FP16", Pattern: "constant(1)", Size: 32}
+
+	t.Run("own-default-deadline", func(t *testing.T) {
+		b := NewHTTPBackendConfig(slow.URL, nil, BackendConfig{RequestTimeout: 30 * time.Millisecond})
+		_, err := b.Predict(context.Background(), req)
+		var te *TransportError
+		if !errors.As(err, &te) || !te.Timeout {
+			t.Fatalf("want Timeout TransportError from the backend's own deadline, got %v", err)
+		}
+	})
+
+	t.Run("caller-deadline-wins", func(t *testing.T) {
+		b := NewHTTPBackendConfig(slow.URL, nil, BackendConfig{RequestTimeout: time.Minute})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		_, err := b.Predict(ctx, req)
+		if !errors.Is(err, context.DeadlineExceeded) || isTransport(err) {
+			t.Fatalf("want the caller's plain DeadlineExceeded, got %v", err)
+		}
+	})
+}
+
+// TestFallbackDegraded: with every replica down and a local fallback
+// configured, predictions still succeed, carry the Degraded marker,
+// and the router reports live-but-degraded (healthz "degraded", readyz
+// 503) instead of down.
+func TestFallbackDegraded(t *testing.T) {
+	fallback := newCores(t, 1)[0]
+	client, err := New(Config{
+		Shards:     []Shard{{Name: "dead", Backend: &deadBackend{name: "dead"}}},
+		MaxSize:    192,
+		Cooldown:   -1,
+		MaxRetries: -1,
+		Fallback:   fallback,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := client.Predict(context.Background(), serve.PredictRequest{DType: "FP16", Pattern: "constant(1)", Size: 32})
+	if err != nil {
+		t.Fatalf("fallback predict: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("fallback response not marked degraded")
+	}
+	if resp.SimulatedW <= 0 {
+		t.Fatalf("fallback computed nothing: %+v", resp)
+	}
+
+	batch, err := client.PredictBatch(context.Background(), serve.BatchRequest{Requests: []serve.PredictRequest{
+		{DType: "FP16", Pattern: "constant(2)", Size: 32},
+		{DType: "FP16", Pattern: "constant( 2 )", Size: 32}, // coalesces
+		{DType: "FP16", Pattern: "frobnicate(", Size: 32},   // fails alone
+	}})
+	if err != nil {
+		t.Fatalf("fallback batch: %v", err)
+	}
+	if batch.Distinct != 1 || batch.Coalesced != 1 {
+		t.Fatalf("fallback batch accounting off: distinct=%d coalesced=%d", batch.Distinct, batch.Coalesced)
+	}
+	for i, item := range batch.Items[:2] {
+		if item.Response == nil || !item.Response.Degraded {
+			t.Fatalf("batch item %d not served degraded: %+v", i, item)
+		}
+	}
+	if batch.Items[2].Error == "" {
+		t.Fatal("invalid item must still fail alone under fallback")
+	}
+
+	h, err := client.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("all-down ring with fallback: health %q, want degraded", h.Status)
+	}
+	if m := client.Metrics(); m["cluster.fallback.served"] == 0 {
+		t.Fatalf("cluster.fallback.served not counted (metrics: %v)", m)
+	}
+
+	// Through the HTTP handler: /readyz must pull the router out of
+	// rotation (503) while /predict keeps answering.
+	router := httptest.NewServer(serve.Handler(client))
+	defer router.Close()
+	resp2, err := http.Get(router.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readyz status = %d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestReadyzOK: a healthy backend is ready.
+func TestReadyzOK(t *testing.T) {
+	core := newCores(t, 1)[0]
+	srv := httptest.NewServer(serve.Handler(core))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy readyz status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,217 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Seed: 42, Shards: 3, Requests: 50, Rate: 0.3}
+	a := Generate(spec)
+	b := Generate(spec)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("same spec generated different plans")
+	}
+	if len(a.Events) == 0 {
+		t.Fatalf("expected some events at rate 0.3 over 150 slots")
+	}
+	c := Generate(GenSpec{Seed: 43, Shards: 3, Requests: 50, Rate: 0.3})
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds generated identical plans")
+	}
+	for _, ev := range a.Events {
+		if ev.Shard < 0 || ev.Shard >= 3 || ev.Request < 0 || ev.Request >= 50 {
+			t.Fatalf("event out of spec bounds: %+v", ev)
+		}
+		if ev.Kind == KindDelay && ev.DelayMS != DefaultDelayMS {
+			t.Fatalf("delay event missing default delay: %+v", ev)
+		}
+	}
+}
+
+func TestPlanJSONRoundtrip(t *testing.T) {
+	p := Generate(GenSpec{Seed: 7, Shards: 2, Requests: 20, Rate: 0.5})
+	var buf bytes.Buffer
+	if err := p.WritePlan(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Seed != p.Seed || !reflect.DeepEqual(got.Events, p.Events) {
+		t.Fatalf("roundtrip mismatch:\nwant %+v\ngot  %+v", p, got)
+	}
+}
+
+func TestReadPlanRejectsBadKind(t *testing.T) {
+	_, err := ReadPlan(strings.NewReader(`{"events":[{"shard":0,"request":1,"kind":"explode"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("want unknown-kind error, got %v", err)
+	}
+	_, err = ReadPlan(strings.NewReader(`{"events":[{"shard":-1,"request":0,"kind":"refuse"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("want negative-index error, got %v", err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p := &Plan{Events: []Event{{Shard: 1, Request: 3, Kind: KindRefuse}}}
+	if _, ok := p.Lookup(0, 3); ok {
+		t.Fatalf("unexpected hit on wrong shard")
+	}
+	ev, ok := p.Lookup(1, 3)
+	if !ok || ev.Kind != KindRefuse {
+		t.Fatalf("want refuse at (1,3), got %+v ok=%v", ev, ok)
+	}
+}
+
+// upstream returns a test server echoing a fixed body, plus a counter
+// of requests that actually reached it.
+func upstream(t *testing.T, body string) (*httptest.Server, *int) {
+	t.Helper()
+	hits := new(int)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*hits++
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, hits
+}
+
+func post(t *testing.T, client *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	return client.Do(req)
+}
+
+func TestTransportCountsOnlyPosts(t *testing.T) {
+	plan := &Plan{Events: []Event{{Shard: 0, Request: 0, Kind: KindRefuse}}}
+	srv, hits := upstream(t, "ok")
+	tr := NewTransport(plan, 0, nil)
+	client := &http.Client{Transport: tr}
+
+	// GETs are never faulted and never consume schedule indices.
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if tr.Requests() != 0 {
+		t.Fatalf("GETs counted: %d", tr.Requests())
+	}
+	// The first POST is request index 0 and must be refused.
+	if _, err := post(t, client, srv.URL); err == nil {
+		t.Fatalf("want refusal on first POST")
+	}
+	if *hits != 3 {
+		t.Fatalf("refused POST reached upstream (hits=%d)", *hits)
+	}
+	// The second POST (index 1) is unscheduled and passes through.
+	resp, err := post(t, client, srv.URL)
+	if err != nil {
+		t.Fatalf("second POST: %v", err)
+	}
+	resp.Body.Close()
+	if tr.Requests() != 2 {
+		t.Fatalf("want 2 counted POSTs, got %d", tr.Requests())
+	}
+}
+
+func TestTransportError5xx(t *testing.T) {
+	plan := &Plan{Events: []Event{{Shard: 0, Request: 0, Kind: KindError5xx}}}
+	srv, hits := upstream(t, "ok")
+	client := &http.Client{Transport: NewTransport(plan, 0, nil)}
+	resp, err := post(t, client, srv.URL)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503, got %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "fault injected") {
+		t.Fatalf("unexpected body %q", body)
+	}
+	if *hits != 0 {
+		t.Fatalf("5xx fault forwarded to upstream")
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	const full = "0123456789abcdef"
+	plan := &Plan{Events: []Event{{Shard: 0, Request: 0, Kind: KindTruncate}}}
+	srv, hits := upstream(t, full)
+	client := &http.Client{Transport: NewTransport(plan, 0, nil)}
+	resp, err := post(t, client, srv.URL)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want unexpected EOF, got %v (body %q)", err, got)
+	}
+	if string(got) != full[:len(full)/2] {
+		t.Fatalf("want half body %q, got %q", full[:len(full)/2], got)
+	}
+	// The defining property of truncate: the upstream DID process it.
+	if *hits != 1 {
+		t.Fatalf("truncate must forward to upstream (hits=%d)", *hits)
+	}
+}
+
+func TestTransportHangRespectsContext(t *testing.T) {
+	plan := &Plan{Events: []Event{{Shard: 0, Request: 0, Kind: KindHang}}}
+	srv, hits := upstream(t, "ok")
+	client := &http.Client{Transport: NewTransport(plan, 0, nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL, strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatalf("want deadline error from hang")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hang did not release on context: %v", elapsed)
+	}
+	if *hits != 0 {
+		t.Fatalf("hang forwarded to upstream")
+	}
+}
+
+func TestTransportDelayForwards(t *testing.T) {
+	plan := &Plan{Events: []Event{{Shard: 0, Request: 0, Kind: KindDelay, DelayMS: 10}}}
+	srv, hits := upstream(t, "ok")
+	client := &http.Client{Transport: NewTransport(plan, 0, nil)}
+	start := time.Now()
+	resp, err := post(t, client, srv.URL)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if *hits != 1 {
+		t.Fatalf("delay must forward (hits=%d)", *hits)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("delay too short: %v", elapsed)
+	}
+}

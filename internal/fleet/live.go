@@ -135,6 +135,7 @@ type Controller struct {
 	eng      *Engine
 	jobs     map[string]*jobRecord
 	executed []Job // accepted jobs in submit order, arrivals stamped
+	journal  *WAL  // when set, every admission is fsynced before the ack
 	seq      int
 	closed   bool
 	loopDone chan struct{}
@@ -299,6 +300,15 @@ func (c *Controller) Submit(ctx context.Context, req submitRequest) (submitRespo
 	c.eng.AddOperatingPoints(ops)
 	if err := c.eng.Submit(&job); err != nil {
 		return submitResponse{}, &statusError{http.StatusInternalServerError, err.Error()}
+	}
+	if c.journal != nil {
+		// Durable before acknowledged: a journal failure turns the
+		// admission into a 500 — the one case where the in-memory state
+		// may be ahead of the journal, and the client must not treat
+		// the job as accepted.
+		if err := c.journal.Append(job); err != nil {
+			return submitResponse{}, &statusError{http.StatusInternalServerError, err.Error()}
+		}
 	}
 	c.jobs[job.ID] = &jobRecord{job: job, phase: phasePending}
 	c.executed = append(c.executed, job)

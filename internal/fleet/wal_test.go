@@ -1,0 +1,188 @@
+package fleet
+
+// Kill-and-resume coverage for the control plane's WAL: a session
+// killed without warning must restart from its journal into the exact
+// pre-crash state, proven the repo's usual way — the resumed session's
+// /fleet/report is byte-identical to the original's.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func walJobs() []string {
+	return []string{
+		`{"dtype": "FP16", "pattern": "gaussian(default)", "size": 64, "iterations": 1500}`,
+		`{"dtype": "FP16-T", "pattern": "gaussian(mean=500, std=1)", "size": 64, "iterations": 1200}`,
+		`{"id": "pinned-h100", "device": "H100-SXM5-80GB", "dtype": "FP16", "pattern": "gaussian(default) | sparsify(50%)", "size": 64, "iterations": 1000}`,
+		`{"dtype": "INT8", "pattern": "constant(7)", "size": 128, "iterations": 900}`,
+		`{"dtype": "FP16", "pattern": "gaussian(default)", "size": 64, "iterations": 1500}`,
+	}
+}
+
+// runJournaledSession drives a journaled live session to drained and
+// returns its report and trace bodies. The controller is abandoned
+// without Close where kill is true — the in-process analog of SIGKILL:
+// no flush, no shutdown hook, only what Append already fsynced.
+func runJournaledSession(t *testing.T, walPath string, kill bool) (report, trace []byte) {
+	t.Helper()
+	wal, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.AttachJournal(wal)
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+
+	for _, body := range walJobs() {
+		if code, m := postJob(t, srv.URL, body); code != http.StatusOK {
+			t.Fatalf("POST /jobs = %d: %v", code, m)
+		}
+	}
+	waitDrained(t, srv.URL)
+	_, report = getJSON(t, srv.URL+"/fleet/report")
+	_, trace = getJSON(t, srv.URL+"/fleet/trace")
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !kill {
+		ctl.Close()
+	}
+	return report, trace
+}
+
+func TestWALKillAndResume(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "session.wal")
+
+	// Original session: journaled, drained, then killed (no Close).
+	wantReport, wantTrace := runJournaledSession(t, walPath, true)
+
+	// Restart: fresh controller, same config, journal replay.
+	jobs, err := ReadWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(walJobs()) {
+		t.Fatalf("journal holds %d jobs, want %d", len(jobs), len(walJobs()))
+	}
+	ctl, err := NewController(liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if err := ctl.Resume(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the journal for appending: replayed jobs are already on
+	// disk, new admissions extend the same history.
+	wal, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	ctl.AttachJournal(wal)
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+	waitDrained(t, srv.URL)
+
+	code, gotReport := getJSON(t, srv.URL+"/fleet/report")
+	if code != http.StatusOK {
+		t.Fatalf("resumed /fleet/report = %d: %s", code, gotReport)
+	}
+	if !bytes.Equal(gotReport, wantReport) {
+		t.Errorf("resumed report differs from pre-crash report\nresumed: %s\noriginal: %s", gotReport, wantReport)
+	}
+	_, gotTrace := getJSON(t, srv.URL+"/fleet/trace")
+	if !bytes.Equal(gotTrace, wantTrace) {
+		t.Errorf("resumed trace differs from pre-crash trace\nresumed: %s\noriginal: %s", gotTrace, wantTrace)
+	}
+
+	// The resumed session keeps serving: a new admission lands after
+	// the replayed history and is journaled after it, so a SECOND crash
+	// would resume from the full history.
+	if code, m := postJob(t, srv.URL, `{"dtype": "FP16", "pattern": "constant(9)", "size": 64, "iterations": 700}`); code != http.StatusOK {
+		t.Fatalf("post-resume POST /jobs = %d: %v", code, m)
+	}
+	waitDrained(t, srv.URL)
+	jobs2, err := ReadWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs2) != len(walJobs())+1 {
+		t.Fatalf("journal after post-resume admission holds %d jobs, want %d", len(jobs2), len(walJobs())+1)
+	}
+}
+
+func TestReadWALToleratesTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "torn.wal")
+	wal, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{ID: "a", DType: "FP16", Pattern: "constant(1)", Size: 64, Iterations: 100},
+		{ID: "b", DType: "FP16", Pattern: "constant(2)", Size: 64, ArrivalS: 1, Iterations: 100},
+	}
+	for _, j := range jobs {
+		if err := wal.Append(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wal.Close()
+
+	// Simulate a crash mid-append: a half-written final line.
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id": "c", "dtype": "FP`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := ReadWAL(walPath)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("want the 2 durable jobs, got %+v", got)
+	}
+
+	// Corruption that is NOT the final line is an error: the journal's
+	// history cannot be trusted past a mid-file scribble.
+	bad := filepath.Join(dir, "corrupt.wal")
+	if err := os.WriteFile(bad, []byte("{garbage}\n"+`{"id": "a", "dtype": "FP16", "pattern": "constant(1)", "size": 64, "iterations": 100}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWAL(bad); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("mid-journal corruption must fail loudly, got %v", err)
+	}
+}
+
+func TestResumeRefusesNonEmptyController(t *testing.T) {
+	ctl, err := NewController(liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+	if code, m := postJob(t, srv.URL, `{"dtype": "FP16", "pattern": "constant(1)", "size": 64, "iterations": 100}`); code != http.StatusOK {
+		t.Fatalf("POST /jobs = %d: %v", code, m)
+	}
+	err = ctl.Resume(context.Background(), []Job{{ID: "x", DType: "FP16", Pattern: "constant(2)", Size: 64, Iterations: 100}})
+	if err == nil || !strings.Contains(err.Error(), "already has") {
+		t.Fatalf("resume into a live session must refuse, got %v", err)
+	}
+}

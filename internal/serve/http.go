@@ -1,7 +1,8 @@
 package serve
 
 // HTTP/JSON front of a Backend: POST /predict, POST /predict/batch,
-// POST /train, GET /healthz and GET /metrics. cmd/powerserve mounts
+// POST /train, GET /healthz, GET /readyz and GET /metrics.
+// cmd/powerserve mounts
 // Handler over a single-node Core; cmd/powerrouter mounts the same
 // Handler over a cluster.Client, which is why clients cannot tell a
 // router from a single node. httptest can mount it directly in tests.
@@ -42,6 +43,15 @@ type ShardHealth struct {
 	CacheLen int `json:"cache_len"`
 }
 
+// ReadyResponse is the GET /readyz payload. Status is "ready" (HTTP
+// 200) when the backend is fully serving, otherwise the backend's
+// health status ("degraded", "down") with HTTP 503 — so load balancers
+// can pull a live-but-degraded router out of rotation while /healthz
+// keeps reporting it alive.
+type ReadyResponse struct {
+	Status string `json:"status"`
+}
+
 // MetricsResponse is the GET /metrics payload: the backend's counter
 // and gauge snapshot plus the derived cache hit-rate.
 type MetricsResponse struct {
@@ -55,7 +65,7 @@ type MetricsResponse struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
-// Handler adapts any Backend to the five-endpoint HTTP API. A Core
+// Handler adapts any Backend to the six-endpoint HTTP API. A Core
 // and a cluster.Client serve identical wire surfaces through it.
 func Handler(b Backend) http.Handler {
 	mux := http.NewServeMux()
@@ -106,6 +116,22 @@ func Handler(b Backend) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use GET"})
+			return
+		}
+		resp, err := b.Health(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if resp.Status == "ok" {
+			writeJSON(w, http.StatusOK, &ReadyResponse{Status: "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, &ReadyResponse{Status: resp.Status})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

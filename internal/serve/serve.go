@@ -129,6 +129,13 @@ type PredictResponse struct {
 	// Cached reports that this response came from the LRU, not a fresh
 	// simulation.
 	Cached bool `json:"cached"`
+	// Degraded reports that a router answered this request from its
+	// local fallback core because no ring shard was reachable for the
+	// key. The value is as correct as any shard's (the computation is
+	// deterministic), but it was not served by the key's owner — cache
+	// warmth and coalescing accounting lived and died with this
+	// response. Single-node and healthy-ring responses omit it.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// gen records which predictor generation produced PredictedW; a
 	// cached response whose generation no longer matches the registry
