@@ -21,6 +21,14 @@
 // All routers fronting one shard set must agree on -shard order,
 // -vnodes and -hashseed, or they will disagree on key placement (the
 // answers would still be identical — only cache locality suffers).
+//
+// The ring is elastic: POST /admin/shards adds a shard live (warming
+// its cache from the donors before any request routes to it),
+// DELETE /admin/shards/{slot} drains and removes one, GET /admin/ring
+// reports the current epoch and members. -watch-config FILE does the
+// same declaratively, reconciling the ring against a polled file of
+// shard URLs. Multiple router replicas must mirror topology changes in
+// the same order (same admin calls, or one shared watch file).
 package main
 
 import (
@@ -71,6 +79,8 @@ func main() {
 		retryBudget    = flag.Int("retry-budget", cluster.DefaultRetryBudget, "token-bucket cap on extra upstream attempts (negative = unlimited)")
 		retryRefill    = flag.Float64("retry-refill", cluster.DefaultRetryRefillPerSec, "retry-budget tokens restored per second (negative = no refill)")
 		fallback       = flag.String("fallback", "", `"local" computes answers in-process when a key's every replica is down (responses carry "degraded": true)`)
+		watchConfig    = flag.String("watch-config", "", "shard-list file to poll and reconcile the ring against (one URL per line, # comments)")
+		watchInterval  = flag.Duration("watch-interval", cluster.DefaultWatchInterval, "poll cadence for -watch-config")
 	)
 	flag.Var(&shards, "shard", "shard base URL (repeat once per shard, order-significant)")
 	flag.Parse()
@@ -120,9 +130,25 @@ func main() {
 	}
 	defer client.Close()
 
+	// New shards added live (admin API or watch-config) get the same
+	// backend construction as the initial -shard set.
+	mkBackend := func(u string) (serve.Backend, error) {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("empty shard URL")
+		}
+		return cluster.NewHTTPBackendConfig(u, nil, cluster.BackendConfig{RequestTimeout: *requestTimeout}), nil
+	}
+
+	// Admin endpoints mount next to the serving surface: /admin/* is
+	// topology control, everything else is the shard-identical API.
+	mux := http.NewServeMux()
+	mux.Handle("/admin/", cluster.AdminHandler(client, mkBackend))
+	mux.Handle("/", serve.Handler(client))
+
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.Handler(client),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute, // /train broadcasts take a while
@@ -132,6 +158,13 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
+
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	defer watchCancel()
+	if *watchConfig != "" {
+		go client.WatchConfig(watchCtx, *watchConfig, *watchInterval, mkBackend, log.Printf)
+		log.Printf("powerrouter: watching %s every %v", *watchConfig, *watchInterval)
+	}
 
 	log.Printf("powerrouter: listening on %s, %d shards, %d vnodes/shard", *addr, len(shards), *vnodes)
 	for i, u := range shards {

@@ -27,6 +27,15 @@
 // topologies by construction; only throughput differs:
 //
 //	go run ./examples/loadgen -shards 3 -c 64 -n 8192 -batch 32
+//
+// -resize-at K (ring mode only) grows the ring live: once K measured
+// requests have been enqueued, a fresh shard joins through the same
+// POST /admin/shards surface cmd/powerrouter exposes, with cache
+// handoff warming the new owner before it takes traffic. The report
+// then splits the cache hit-rate into pre- and post-resize windows so
+// the dip the handoff avoided (or didn't) is a printed number:
+//
+//	go run ./examples/loadgen -shards 3 -n 8192 -resize-at 4096
 package main
 
 import (
@@ -76,6 +85,15 @@ type healthResponse struct {
 	Metrics map[string]int64 `json:"metrics"`
 }
 
+// resizeReport mirrors the fields of cluster.ResizeReport the summary
+// line prints.
+type resizeReport struct {
+	Slot            int `json:"slot"`
+	RangesMoved     int `json:"ranges_moved"`
+	KeysMoved       int `json:"keys_moved"`
+	EntriesMigrated int `json:"entries_migrated"`
+}
+
 // loadConfig is everything one measured run needs.
 type loadConfig struct {
 	addr   string
@@ -87,6 +105,12 @@ type loadConfig struct {
 	unique bool
 	batch  int
 	client *http.Client
+
+	// resize, when set, is invoked once as the resizeAt-th measured
+	// request is enqueued — requests already queued keep flowing while
+	// the topology changes underneath them.
+	resizeAt int
+	resize   func() (string, error)
 }
 
 // loadResult is what one measured run produced.
@@ -96,6 +120,11 @@ type loadResult struct {
 	failed              int
 	coalesced, distinct int64
 	before, after       *healthResponse
+
+	// resizeSnap is the health snapshot taken just before the live
+	// resize; resizeSummary describes what the resize did.
+	resizeSnap    *healthResponse
+	resizeSummary string
 }
 
 func (r *loadResult) throughput(total int) float64 {
@@ -113,8 +142,12 @@ func main() {
 		unique   = flag.Bool("unique", false, "make every request a distinct pattern (all cache misses)")
 		batch    = flag.Int("batch", 0, "group requests into /predict/batch bodies of this size (0 = single-shot /predict)")
 		shards   = flag.Int("shards", 0, "measure scaling: replay the workload against 1 in-process instance and an in-process ring of N shards (ignores -addr)")
+		resizeAt = flag.Int("resize-at", 0, "with -shards: add one shard live after this many measured ring requests, and report the hit-rate dip (0 = no resize)")
 	)
 	flag.Parse()
+	if *resizeAt > 0 && *shards <= 0 {
+		log.Fatal("loadgen: -resize-at needs a ring to resize; pass -shards N")
+	}
 
 	pats := defaultPatterns()
 	if *patsFlag != "" {
@@ -150,7 +183,7 @@ func main() {
 	}
 
 	if *shards > 0 {
-		runScalingComparison(cfg, *shards)
+		runScalingComparison(cfg, *shards, *resizeAt)
 		return
 	}
 
@@ -167,7 +200,9 @@ func main() {
 // ring, then reports the throughput ratio. Both topologies speak real
 // HTTP on loopback, both are warmed identically, and both return
 // byte-identical answers — the ratio isolates what sharding buys.
-func runScalingComparison(cfg loadConfig, shards int) {
+// With resizeAt > 0 the ring additionally grows by one shard mid-run,
+// so the report shows what a live topology change costs.
+func runScalingComparison(cfg loadConfig, shards, resizeAt int) {
 	fmt.Printf("loadgen: scaling comparison, 1 instance vs %d-shard ring\n\n", shards)
 
 	single, closeSingle := startInstanceTopology()
@@ -177,9 +212,15 @@ func runScalingComparison(cfg loadConfig, shards int) {
 	report(cfg, singleRes)
 	closeSingle()
 
-	router, closeRing := startRingTopology(shards)
+	router, addShard, closeRing := startRingTopology(shards)
 	cfg.addr = router
-	fmt.Printf("\n— %d-shard ring behind router —\n", shards)
+	if resizeAt > 0 {
+		cfg.resizeAt = resizeAt
+		cfg.resize = addShard
+		fmt.Printf("\n— %d-shard ring behind router, +1 shard at request %d —\n", shards, resizeAt)
+	} else {
+		fmt.Printf("\n— %d-shard ring behind router —\n", shards)
+	}
 	ringRes := runLoad(cfg)
 	report(cfg, ringRes)
 	closeRing()
@@ -201,26 +242,68 @@ func startInstanceTopology() (string, func()) {
 
 // startRingTopology serves n Cores behind a consistent-hash router,
 // all over loopback HTTP — the same wire topology as n powerserve
-// processes behind cmd/powerrouter.
-func startRingTopology(n int) (string, func()) {
+// processes behind cmd/powerrouter, admin surface included. The
+// returned addShard starts one more core and joins it through
+// POST /admin/shards, exactly as an operator would.
+func startRingTopology(n int) (string, func() (string, error), func()) {
+	var mu sync.Mutex
 	var closers []func()
-	ringCfg := cluster.Config{}
-	for i := 0; i < n; i++ {
+	newShard := func() string {
 		core := serve.NewCore(serve.Config{})
 		srv := httptest.NewServer(serve.Handler(core))
+		mu.Lock()
 		closers = append(closers, srv.Close, core.Close)
+		mu.Unlock()
+		return srv.URL
+	}
+	ringCfg := cluster.Config{}
+	for i := 0; i < n; i++ {
+		url := newShard()
 		ringCfg.Shards = append(ringCfg.Shards, cluster.Shard{
-			Name:    srv.URL,
-			Backend: cluster.NewHTTPBackend(srv.URL, nil),
+			Name:    url,
+			Backend: cluster.NewHTTPBackend(url, nil),
 		})
 	}
 	client, err := cluster.New(ringCfg)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
-	router := httptest.NewServer(serve.Handler(client))
+	mux := http.NewServeMux()
+	mux.Handle("/admin/", cluster.AdminHandler(client, func(url string) (serve.Backend, error) {
+		return cluster.NewHTTPBackend(url, nil), nil
+	}))
+	mux.Handle("/", serve.Handler(client))
+	router := httptest.NewServer(mux)
+	mu.Lock()
 	closers = append(closers, router.Close, client.Close)
-	return router.URL, func() {
+	mu.Unlock()
+
+	addShard := func() (string, error) {
+		url := newShard()
+		body, err := json.Marshal(map[string]string{"url": url})
+		if err != nil {
+			return "", err
+		}
+		resp, err := http.Post(router.URL+"/admin/shards", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("POST /admin/shards: status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		var rep resizeReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("joined slot %d: %d ranges moved, %d journaled keys, %d cache entries migrated",
+			rep.Slot, rep.RangesMoved, rep.KeysMoved, rep.EntriesMigrated), nil
+	}
+
+	return router.URL, addShard, func() {
+		mu.Lock()
+		defer mu.Unlock()
 		for i := len(closers) - 1; i >= 0; i-- {
 			closers[i]()
 		}
@@ -299,7 +382,20 @@ func runLoad(cfg loadConfig) *loadResult {
 	if cfg.batch > 0 {
 		step = cfg.batch
 	}
+	resized := false
 	for i := 0; i < cfg.total; i += step {
+		if cfg.resize != nil && !resized && i >= cfg.resizeAt {
+			// Snapshot first so the report can split hit-rate into
+			// pre- and post-resize windows, then change the topology
+			// while the queued requests are still in flight.
+			resized = true
+			res.resizeSnap = health(cfg.client, cfg.addr)
+			summary, err := cfg.resize()
+			if err != nil {
+				log.Fatalf("loadgen: resize: %v", err)
+			}
+			res.resizeSummary = summary
+		}
 		jobs <- i
 	}
 	close(jobs)
@@ -344,6 +440,21 @@ func report(cfg loadConfig, res *loadResult) {
 		}
 		fmt.Printf("  simulations : %d\n", res.after.Metrics["serve.simulations"]-res.before.Metrics["serve.simulations"])
 		fmt.Printf("  queue depth : max %d\n", res.after.Metrics["serve.queue.depth.max"])
+	}
+
+	if res.resizeSnap != nil && res.before != nil && res.after != nil {
+		rate := func(from, to *healthResponse) float64 {
+			hits := to.Metrics["serve.cache.hits"] - from.Metrics["serve.cache.hits"]
+			misses := to.Metrics["serve.cache.misses"] - from.Metrics["serve.cache.misses"]
+			if hits+misses == 0 {
+				return 0
+			}
+			return 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("  resize      : %s\n", res.resizeSummary)
+		fmt.Printf("  hit rate    : %.1f%% pre-resize → %.1f%% post-resize (cold misses on moved keys: %d)\n",
+			rate(res.before, res.resizeSnap), rate(res.resizeSnap, res.after),
+			res.after.Metrics["cluster.resize.cold_misses"]-res.before.Metrics["cluster.resize.cold_misses"])
 	}
 }
 

@@ -1,0 +1,174 @@
+package cluster
+
+// Admin surface for live topology changes: a small JSON API that
+// cmd/powerrouter mounts next to the serving endpoints. It is
+// deliberately separate from serve.Handler — shards and routers share
+// the serving surface byte-for-byte, but only a router has a ring to
+// administer.
+//
+//	GET    /admin/ring         — current epoch and members
+//	POST   /admin/shards       — add a shard (grow the ring)
+//	DELETE /admin/shards/{slot} — drain a member, then remove it
+//
+// Endpoint shapes are documented with runnable examples in docs/API.md
+// (round-tripped by admin_apidoc_test.go).
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/serve"
+)
+
+// RingStatus is the GET /admin/ring payload.
+type RingStatus struct {
+	// Epoch counts topology changes since the router started.
+	Epoch int `json:"epoch"`
+	// VirtualNodes is the per-member ring point count.
+	VirtualNodes int `json:"virtual_nodes"`
+	// Shards lists every member in slot order, draining ones included.
+	Shards []RingMemberStatus `json:"shards"`
+}
+
+// RingMemberStatus is one member in a RingStatus.
+type RingMemberStatus struct {
+	// Slot is the member's stable ring identity.
+	Slot int `json:"slot"`
+	// Name is the member's shard name (its base URL for HTTP shards).
+	Name string `json:"name"`
+	// Draining marks a member that no longer owns keys.
+	Draining bool `json:"draining,omitempty"`
+	// Up reports the client's current reachability verdict.
+	Up bool `json:"up"`
+}
+
+// AddShardRequest is the POST /admin/shards payload.
+type AddShardRequest struct {
+	// URL is the new shard's base URL, e.g. "http://shard3:8093".
+	URL string `json:"url"`
+	// Name optionally overrides the shard's reported name (default:
+	// the URL).
+	Name string `json:"name,omitempty"`
+}
+
+// RingStatus snapshots the current topology for the admin API.
+func (c *Client) RingStatus() *RingStatus {
+	topo := c.topology()
+	members := topo.ring.Members()
+	out := &RingStatus{
+		Epoch:        topo.ring.Epoch(),
+		VirtualNodes: topo.ring.VirtualNodes(),
+		Shards:       make([]RingMemberStatus, len(members)),
+	}
+	for i, m := range members {
+		s := topo.state(m.Slot)
+		out.Shards[i] = RingMemberStatus{
+			Slot:     m.Slot,
+			Name:     s.name,
+			Draining: m.Draining,
+			Up:       s.up(),
+		}
+	}
+	return out
+}
+
+// shardSlotByName returns the slot of the member with the given name.
+func (c *Client) shardSlotByName(name string) (int, bool) {
+	topo := c.topology()
+	for slot, s := range topo.shards {
+		if s.name == name {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// AdminHandler mounts the topology admin API over a Client. mkBackend
+// constructs the backend for a newly added shard URL (cmd/powerrouter
+// passes its HTTPBackend factory; in-process tests can return a
+// serve.Core).
+func AdminHandler(c *Client, mkBackend func(url string) (serve.Backend, error)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /admin/ring", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, http.StatusOK, c.RingStatus())
+	})
+	mux.HandleFunc("POST /admin/shards", func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		var req AddShardRequest
+		if err := dec.Decode(&req); err != nil {
+			writeAdminError(w, serve.BadRequestf("bad request body: %v", err))
+			return
+		}
+		if req.URL == "" {
+			writeAdminError(w, serve.BadRequestf("add shard: missing url"))
+			return
+		}
+		name := req.Name
+		if name == "" {
+			name = req.URL
+		}
+		if _, exists := c.shardSlotByName(name); exists {
+			writeAdminError(w, serve.BadRequestf("add shard: %q already in ring", name))
+			return
+		}
+		backend, err := mkBackend(req.URL)
+		if err != nil {
+			writeAdminError(w, serve.BadRequestf("add shard: %v", err))
+			return
+		}
+		rep, err := c.AddShard(r.Context(), name, backend)
+		if err != nil {
+			backend.Close()
+			writeAdminError(w, err)
+			return
+		}
+		writeAdminJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("DELETE /admin/shards/{slot}", func(w http.ResponseWriter, r *http.Request) {
+		slot, err := strconv.Atoi(r.PathValue("slot"))
+		if err != nil {
+			writeAdminError(w, serve.BadRequestf("bad shard slot %q", r.PathValue("slot")))
+			return
+		}
+		if _, ok := c.topology().ring.Lookup(slot); !ok {
+			writeAdminJSON(w, http.StatusNotFound, adminError{Error: "no ring member " + strconv.Itoa(slot)})
+			return
+		}
+		rep, err := c.DrainShard(r.Context(), slot)
+		if err != nil {
+			writeAdminError(w, err)
+			return
+		}
+		if _, err := c.RemoveShard(slot); err != nil {
+			// Drained but not removed (e.g. a concurrent admin call won
+			// the race); report the drain result with the error attached.
+			writeAdminError(w, err)
+			return
+		}
+		rep.Removed = true
+		writeAdminJSON(w, http.StatusOK, rep)
+	})
+	return mux
+}
+
+type adminError struct {
+	Error string `json:"error"`
+}
+
+func writeAdminError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var re *serve.RequestError
+	if errors.As(err, &re) {
+		status = http.StatusBadRequest
+	}
+	writeAdminJSON(w, status, adminError{Error: err.Error()})
+}
+
+func writeAdminJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

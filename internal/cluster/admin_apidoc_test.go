@@ -1,0 +1,147 @@
+package cluster
+
+// admin_apidoc_test executes the powerrouter /admin slice of
+// docs/API.md: the `<!-- roundtrip -->` examples under /admin run in
+// document order against a real AdminHandler over a live ring, so the
+// elastic-topology section cannot drift from the code. The powerserve
+// and fleetctl slices of the same document run in internal/serve and
+// internal/fleet respectively — the split is by path prefix, because
+// neither of those packages has a ring to administer.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/doctest"
+)
+
+func TestAdminDocExamplesRoundTrip(t *testing.T) {
+	all, err := doctest.Parse("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("parse docs/API.md: %v (the API doc must exist and ship with the repo)", err)
+	}
+	var examples []doctest.Example
+	for _, ex := range all {
+		if strings.HasPrefix(ex.Path, "/admin") {
+			examples = append(examples, ex)
+		}
+	}
+	if len(examples) < 5 {
+		t.Fatalf("found only %d admin roundtrip examples in docs/API.md, want ≥ 5", len(examples))
+	}
+
+	// A live 2-shard ring; the documented sequence grows it and then
+	// drains the addition, so slots referenced in the doc must line up:
+	// initial members take slots 0 and 1, the documented add takes 2.
+	cores := newCores(t, 2)
+	client, err := New(Config{Shards: coreShards(cores), MaxSize: 192, Cooldown: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	ts := httptest.NewServer(AdminHandler(client, coreFactory(t)))
+	t.Cleanup(ts.Close)
+
+	covered := map[string]bool{}
+	for _, ex := range examples {
+		name := ex.Method + " " + ex.Path + " line " + strconv.Itoa(ex.Line)
+		covered[ex.Method+" "+ex.Path] = true
+
+		var req *http.Request
+		var err error
+		switch ex.Method {
+		case http.MethodGet, http.MethodDelete:
+			req, err = http.NewRequest(ex.Method, ts.URL+ex.Path, nil)
+		default:
+			if strings.TrimSpace(ex.Body) == "" {
+				t.Errorf("%s: documented POST example has no body", name)
+				continue
+			}
+			if !json.Valid([]byte(ex.Body)) {
+				t.Errorf("%s: documented body is not valid JSON:\n%s", name, ex.Body)
+				continue
+			}
+			req, err = http.NewRequest(http.MethodPost, ts.URL+ex.Path, bytes.NewReader([]byte(ex.Body)))
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var payload map[string]any
+		decErr := json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+
+		if resp.StatusCode != ex.Status {
+			t.Errorf("%s: documented status %d, handler returned %d (%v)", name, ex.Status, resp.StatusCode, payload)
+			continue
+		}
+		if decErr != nil {
+			t.Errorf("%s: response is not JSON: %v", name, decErr)
+			continue
+		}
+		if ex.Status >= 400 {
+			if msg, ok := payload["error"].(string); !ok || msg == "" {
+				t.Errorf("%s: documented error responses carry {\"error\": ...}, got %v", name, payload)
+			}
+			continue
+		}
+		// Spot-check the documented success shapes.
+		switch {
+		case ex.Path == "/admin/ring":
+			for _, k := range []string{"epoch", "virtual_nodes", "shards"} {
+				if _, ok := payload[k]; !ok {
+					t.Errorf("%s: response missing documented field %q", name, k)
+				}
+			}
+		case ex.Path == "/admin/shards" && ex.Method == http.MethodPost:
+			for _, k := range []string{"op", "epoch", "slot", "name", "shards", "ranges_moved"} {
+				if _, ok := payload[k]; !ok {
+					t.Errorf("%s: response missing documented field %q", name, k)
+				}
+			}
+		case ex.Method == http.MethodDelete:
+			if payload["op"] != "drain" || payload["removed"] != true {
+				t.Errorf("%s: drain report %v must carry op=drain and removed=true", name, payload)
+			}
+		}
+	}
+
+	for _, want := range []string{"GET /admin/ring", "POST /admin/shards"} {
+		if !covered[want] {
+			t.Errorf("docs/API.md has no roundtrip example for %s", want)
+		}
+	}
+	foundDelete := false
+	for k := range covered {
+		if strings.HasPrefix(k, "DELETE /admin/shards/") {
+			foundDelete = true
+		}
+	}
+	if !foundDelete {
+		t.Error("docs/API.md has no roundtrip example for DELETE /admin/shards/{slot}")
+	}
+}
+
+// The serve-side apidoc suite excludes /admin by prefix; this guards
+// the convention the split relies on — every admin example must sit
+// under the one prefix the other suites skip.
+func TestAdminDocExamplesStayUnderAdminPrefix(t *testing.T) {
+	all, err := doctest.Parse("../../docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range all {
+		if strings.Contains(ex.Path, "admin") && !strings.HasPrefix(ex.Path, "/admin") {
+			t.Errorf("line %d: admin example path %q must start with /admin", ex.Line, ex.Path)
+		}
+	}
+}

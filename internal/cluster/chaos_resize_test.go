@@ -1,0 +1,126 @@
+package cluster
+
+// Chaos during resize: drain a shard whose transport is delaying and
+// 5xx-ing every request — export GETs included, via FaultGET — and
+// require (a) every response stays byte-identical to a single node,
+// and (b) the warmup falls back to targeted journal replay without
+// touching the cluster.retry.* counters: replay is background warmup,
+// not request traffic, so it must never spend retry budget or inflate
+// the retry accounting.
+//
+// Stream discipline matches chaos_test.go: distinct keys, so the
+// cached flag — the one field failover could flip — never diverges.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+func TestChaosDuringResize(t *testing.T) {
+	stream := chaosStream()
+
+	// Reference: one cold, fault-free single node.
+	single := newShardServers(t, 1)[0]
+	want := replay(t, single.URL, stream)
+
+	// 3 cold shards. Shard 2 — the drain target — answers every
+	// eligible request (POSTs and, via FaultGET, the handoff's
+	// GET /cache/export) with a non-JSON 503, so both its serving path
+	// and its export path are down while its keys move; shard 0 gets
+	// latency spikes on top, so the resize runs through a ring that is
+	// simultaneously slow and failing.
+	donor := 2
+	plan := &faultinject.Plan{Seed: 1}
+	for i := 0; i < 512; i++ {
+		plan.Events = append(plan.Events, faultinject.Event{
+			Shard: donor, Request: i, Kind: faultinject.KindError5xx,
+		})
+		if i%2 == 0 {
+			plan.Events = append(plan.Events, faultinject.Event{
+				Shard: 0, Request: i, Kind: faultinject.KindDelay, DelayMS: 3,
+			})
+		}
+	}
+
+	shards := newShardServers(t, 3)
+	cfg := Config{
+		MaxSize:           192,
+		Cooldown:          time.Millisecond,
+		AttemptTimeout:    250 * time.Millisecond,
+		RetryBase:         time.Millisecond,
+		RetryCap:          5 * time.Millisecond,
+		RetryBudget:       10000,
+		RetryRefillPerSec: -1,
+	}
+	for i, srv := range shards {
+		tr := faultinject.NewTransport(plan, i, nil).FaultGET("/cache/export")
+		hc := &http.Client{Transport: tr}
+		cfg.Shards = append(cfg.Shards, Shard{Name: srv.URL, Backend: NewHTTPBackend(srv.URL, hc)})
+	}
+	client, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	router := httptest.NewServer(serve.Handler(client))
+	t.Cleanup(router.Close)
+
+	// Replay step by step, draining the faulted shard mid-stream. The
+	// export GET will be 5xx-ed (or delayed and then 5xx-ed on a later
+	// index), so the handoff must fall back to replaying the journaled
+	// keys of the moved ranges against their new owners.
+	drainAt := len(stream) / 2
+	got := make([][]byte, len(stream))
+	for i := range stream {
+		if i == drainAt {
+			before := client.Metrics()
+			rep, err := client.DrainShard(t.Context(), donor)
+			if err != nil {
+				t.Fatalf("drain shard %d: %v", donor, err)
+			}
+			if _, err := client.RemoveShard(donor); err != nil {
+				t.Fatalf("remove shard %d: %v", donor, err)
+			}
+			after := client.Metrics()
+
+			if rep.ExportFailures == 0 {
+				t.Error("faulted donor exported cleanly; the fault plan never fired on /cache/export")
+			}
+			if rep.Replayed+rep.ReplayFailures == 0 {
+				t.Error("export failed but nothing was replayed; journal fallback did not run")
+			}
+			// Warmup must not masquerade as request traffic: the drain
+			// changed no retry or budget accounting.
+			for _, k := range []string{"cluster.retry.attempts", "cluster.retry.recovered", "cluster.budget.spent", "cluster.reroutes"} {
+				if before[k] != after[k] {
+					t.Errorf("%s changed %d→%d across the drain; replay must bypass the retry layer", k, before[k], after[k])
+				}
+			}
+		}
+		got[i] = replay(t, router.URL, stream[i:i+1])[0]
+	}
+
+	for i := range stream {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("step %d (%s %s): resize-under-chaos response differs from single node\nchaos:  %s\nsingle: %s",
+				i, stream[i].method, stream[i].path, got[i], want[i])
+		}
+	}
+
+	m := client.Metrics()
+	if m["cluster.resize.export_failures"] == 0 {
+		t.Errorf("cluster.resize.export_failures = 0, want > 0 (metrics: %v)", m)
+	}
+	if m["cluster.resize.replayed"]+m["cluster.resize.replay_failures"] == 0 {
+		t.Errorf("no journal replay recorded (metrics: %v)", m)
+	}
+	if m["cluster.budget.exhausted"] != 0 {
+		t.Errorf("budget exhausted mid-test (metrics: %v)", m)
+	}
+}

@@ -3,7 +3,10 @@ package cluster
 // Client: the fan-out/fan-in front of a shard ring. It implements
 // serve.Backend, so serve.Handler can mount it (cmd/powerrouter) and
 // internal/fleet's oracles can point at it without knowing they talk
-// to a cluster.
+// to a cluster. The topology is dynamic: every request routes against
+// an immutable snapshot (ring epoch + slot→shard table) swapped
+// atomically by the resize operations in resize.go, so a live
+// AddShard/DrainShard never races a request half-way through routing.
 
 import (
 	"context"
@@ -34,9 +37,11 @@ type Shard struct {
 
 // Config parameterizes a Client.
 type Config struct {
-	// Shards lists the ring members in placement order. Order matters:
-	// the ring hashes shard indexes, so two routers must list the same
-	// shards in the same order to agree on placement.
+	// Shards lists the initial ring members in placement order. Order
+	// matters: the ring hashes member slots and the initial members take
+	// slots 0..n-1, so two routers must list the same shards in the same
+	// order to agree on placement. Later AddShard/DrainShard calls must
+	// likewise be mirrored across router replicas.
 	Shards []Shard
 	// VirtualNodes is the per-shard ring point count
 	// (0 = DefaultVirtualNodes).
@@ -76,6 +81,12 @@ type Config struct {
 	// RetrySeed seeds the backoff jitter (0 = a fixed default, so runs
 	// are reproducible unless an operator opts into a fresh seed).
 	RetrySeed uint64
+	// JournalSize bounds the replay journal — the record of recently
+	// served keys a resize replays against a new owner when the donor
+	// shard cannot export its cache (0 = DefaultJournalSize, negative =
+	// no journal, so warmup has no fallback and cold misses go
+	// uncounted).
+	JournalSize int
 	// Fallback, when set, answers requests whose every replica is
 	// unreachable by computing locally (cmd/powerrouter's -fallback
 	// local wires a serve.Core here). Fallback responses carry the
@@ -88,10 +99,19 @@ type Config struct {
 // Client routes requests across the shard ring. All methods are safe
 // for concurrent use.
 type Client struct {
-	cfg    Config
-	ring   *Ring
-	shards []*shardState
+	cfg Config
 
+	// topoMu guards the topology pointer only; the topology itself is
+	// immutable once installed. Request paths snapshot it once and
+	// route the whole request against that epoch.
+	topoMu sync.RWMutex
+	topo   *topology
+
+	// resizeMu serializes AddShard/DrainShard/RemoveShard so two
+	// topology changes cannot interleave their handoffs.
+	resizeMu sync.Mutex
+
+	journal    *keyJournal // nil = disabled
 	retryDelay *backoff
 	budget     *tokenBucket // nil = unlimited
 
@@ -108,7 +128,36 @@ type Client struct {
 	budgetSpent     *telemetry.Counter
 	budgetExhausted *telemetry.Counter
 	fallbackServed  *telemetry.Counter
+	resizeEpochs    *telemetry.Counter
+	rangesMoved     *telemetry.Counter
+	keysMoved       *telemetry.Counter
+	entriesMigrated *telemetry.Counter
+	replayed        *telemetry.Counter
+	replayFailures  *telemetry.Counter
+	exportFailures  *telemetry.Counter
+	coldMisses      *telemetry.Counter
 	downGauge       *telemetry.Gauge
+}
+
+// topology is one immutable epoch of the ring: placement plus the
+// slot→shard table. Neither the ring nor the map is ever mutated after
+// install; resizes build a fresh topology and swap the pointer.
+type topology struct {
+	ring   *Ring
+	shards map[int]*shardState
+}
+
+// state returns the shard serving slot.
+func (t *topology) state(slot int) *shardState { return t.shards[slot] }
+
+// slots returns every member slot in ring (member) order.
+func (t *topology) slots() []int {
+	members := t.ring.Members()
+	out := make([]int, len(members))
+	for i, m := range members {
+		out[i] = m.Slot
+	}
+	return out
 }
 
 // shardState tracks one ring member's reachability.
@@ -150,8 +199,6 @@ func New(cfg Config) (*Client, error) {
 	m := telemetry.NewMetricSet()
 	c := &Client{
 		cfg:             cfg,
-		ring:            NewRing(len(cfg.Shards), cfg.VirtualNodes, cfg.Seed),
-		shards:          make([]*shardState, len(cfg.Shards)),
 		retryDelay:      newBackoff(cfg.RetryBase, cfg.RetryCap, cfg.RetrySeed),
 		metrics:         m,
 		requests:        m.Counter("cluster.requests"),
@@ -166,11 +213,27 @@ func New(cfg Config) (*Client, error) {
 		budgetSpent:     m.Counter("cluster.budget.spent"),
 		budgetExhausted: m.Counter("cluster.budget.exhausted"),
 		fallbackServed:  m.Counter("cluster.fallback.served"),
+		resizeEpochs:    m.Counter("cluster.resize.epochs"),
+		rangesMoved:     m.Counter("cluster.resize.ranges_moved"),
+		keysMoved:       m.Counter("cluster.resize.keys_moved"),
+		entriesMigrated: m.Counter("cluster.resize.entries_migrated"),
+		replayed:        m.Counter("cluster.resize.replayed"),
+		replayFailures:  m.Counter("cluster.resize.replay_failures"),
+		exportFailures:  m.Counter("cluster.resize.export_failures"),
+		coldMisses:      m.Counter("cluster.resize.cold_misses"),
 		downGauge:       m.Gauge("cluster.shards.down"),
 	}
 	if cfg.RetryBudget > 0 {
 		c.budget = newTokenBucket(cfg.RetryBudget, cfg.RetryRefillPerSec)
 	}
+	if cfg.JournalSize >= 0 {
+		size := cfg.JournalSize
+		if size == 0 {
+			size = DefaultJournalSize
+		}
+		c.journal = newKeyJournal(size)
+	}
+	shards := make(map[int]*shardState, len(cfg.Shards))
 	for i, s := range cfg.Shards {
 		if s.Backend == nil {
 			return nil, fmt.Errorf("cluster: shard %d (%q) has no backend", i, s.Name)
@@ -179,14 +242,33 @@ func New(cfg Config) (*Client, error) {
 		if name == "" {
 			name = fmt.Sprintf("shard%d", i)
 		}
-		c.shards[i] = &shardState{name: name, backend: s.Backend}
+		shards[i] = &shardState{name: name, backend: s.Backend}
+	}
+	c.topo = &topology{
+		ring:   NewRing(len(cfg.Shards), cfg.VirtualNodes, cfg.Seed),
+		shards: shards,
 	}
 	return c, nil
 }
 
-// Ring exposes the client's placement for tests and cmd/powerrouter's
-// startup log.
-func (c *Client) Ring() *Ring { return c.ring }
+// topology snapshots the current epoch; the snapshot stays valid (and
+// immutable) for the whole request even if a resize lands mid-flight.
+func (c *Client) topology() *topology {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.topo
+}
+
+// install swaps in a new topology epoch.
+func (c *Client) install(t *topology) {
+	c.topoMu.Lock()
+	c.topo = t
+	c.topoMu.Unlock()
+}
+
+// Ring exposes the client's current placement for tests and
+// cmd/powerrouter's startup log.
+func (c *Client) Ring() *Ring { return c.topology().ring }
 
 // available reports whether the shard should receive traffic: up, or
 // down long enough that a half-open probe is due. The probe is
@@ -251,6 +333,21 @@ func (c *Client) noteUp(s *shardState) {
 	}
 }
 
+// noteServed records a served key in the replay journal and maintains
+// the post-resize cold-miss counter: a journaled key answered uncached
+// after at least one resize is a cache entry the handoff failed to
+// carry — the measurable hit-rate dip. Degraded (fallback) answers are
+// journaled but never counted: the fallback's cache is not the ring's.
+func (c *Client) noteServed(key serve.Key, cached, degraded bool) {
+	if c.journal == nil {
+		return
+	}
+	seen := c.journal.note(key)
+	if seen && !cached && !degraded && c.resizeEpochs.Load() > 0 {
+		c.coldMisses.Inc()
+	}
+}
+
 // Predict routes one prediction to the key's owner, walking the ring's
 // preference sequence past down shards. Each shard gets the retry
 // policy's allowance of same-shard attempts (retryCall); only
@@ -266,12 +363,13 @@ func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.
 		c.failures.Inc()
 		return nil, err
 	}
-	seq := c.ring.Sequence(res.Key.RouteString())
+	topo := c.topology()
+	seq := topo.ring.Sequence(res.Key.RouteString())
 	first := true
 	var lastTransport error
-	for hop, idx := range seq {
-		s := c.shards[idx]
-		if !s.available(c.cfg.Cooldown) {
+	for hop, slot := range seq {
+		s := topo.state(slot)
+		if s == nil || !s.available(c.cfg.Cooldown) {
 			continue
 		}
 		if hop > 0 {
@@ -282,6 +380,7 @@ func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.
 		})
 		if err == nil {
 			c.noteUp(s)
+			c.noteServed(res.Key, resp.Cached, resp.Degraded)
 			return resp, nil
 		}
 		if ctx.Err() != nil {
@@ -314,6 +413,7 @@ func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.
 		}
 		resp.Degraded = true
 		c.fallbackServed.Inc()
+		c.noteServed(res.Key, resp.Cached, true)
 		return resp, nil
 	}
 	c.failures.Inc()
@@ -323,7 +423,7 @@ func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.
 // pendingItem is one not-yet-answered batch slot during fan-out.
 type pendingItem struct {
 	idx int
-	seq []int // ring preference order for the item's key
+	seq []int // ring preference order (slots) for the item's key
 	hop int   // next position in seq to try
 }
 
@@ -350,7 +450,10 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 	c.batches.Inc()
 	c.items.Add(int64(len(req.Requests)))
 
+	topo := c.topology()
 	resp := &serve.BatchResponse{Items: make([]serve.BatchItem, len(req.Requests))}
+	keys := make([]serve.Key, len(req.Requests))
+	valid := make([]bool, len(req.Requests))
 	var pending []*pendingItem
 	for i, pr := range req.Requests {
 		res, err := serve.ResolveRequest(pr, c.cfg.MaxSize)
@@ -359,7 +462,8 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 			resp.Items[i] = serve.BatchItem{Error: err.Error()}
 			continue
 		}
-		pending = append(pending, &pendingItem{idx: i, seq: c.ring.Sequence(res.Key.RouteString())})
+		keys[i], valid[i] = res.Key, true
+		pending = append(pending, &pendingItem{idx: i, seq: topo.ring.Sequence(res.Key.RouteString())})
 	}
 
 	var mu sync.Mutex // guards resp.Distinct/Coalesced merges
@@ -371,9 +475,9 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 		// could hand the probe admission to one duplicate of a key
 		// while its siblings skip ahead — splitting a key group across
 		// sub-batches and skewing the coalescing accounting.
-		alive := make([]bool, len(c.shards))
-		for i, s := range c.shards {
-			alive[i] = s.available(c.cfg.Cooldown)
+		alive := make(map[int]bool, len(topo.shards))
+		for slot, s := range topo.shards {
+			alive[slot] = s.available(c.cfg.Cooldown)
 		}
 		// Route every pending item to the first available shard in its
 		// preference sequence; items that have run out of shards fail.
@@ -414,11 +518,11 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 		// retry inside retryCall draws a token.
 		requeue := make([][]*pendingItem, len(shardOrder))
 		var wg sync.WaitGroup
-		for gi, shardIdx := range shardOrder {
+		for gi, slot := range shardOrder {
 			wg.Add(1)
-			go func(gi, shardIdx int, members []*pendingItem, firstAttempt bool) {
+			go func(gi, slot int, members []*pendingItem, firstAttempt bool) {
 				defer wg.Done()
-				s := c.shards[shardIdx]
+				s := topo.state(slot)
 				c.subbatches.Inc()
 				sub := serve.BatchRequest{Requests: make([]serve.PredictRequest, len(members))}
 				for i, p := range members {
@@ -485,7 +589,7 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 				for _, p := range members {
 					resp.Items[p.idx] = serve.BatchItem{Error: err.Error()}
 				}
-			}(gi, shardIdx, groups[shardIdx], round == 0)
+			}(gi, slot, groups[slot], round == 0)
 		}
 		wg.Wait()
 
@@ -501,6 +605,11 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 	}
 	if len(fbPending) > 0 {
 		c.fallbackBatch(ctx, req, resp, fbPending, &mu)
+	}
+	for i, item := range resp.Items {
+		if valid[i] && item.Response != nil {
+			c.noteServed(keys[i], item.Response.Cached, item.Response.Degraded)
+		}
 	}
 	return resp, nil
 }
@@ -541,12 +650,13 @@ func (c *Client) fallbackBatch(ctx context.Context, req serve.BatchRequest, resp
 	mu.Unlock()
 }
 
-// Train broadcasts the retrain to every shard: the keyspace for one
-// (device, dtype) spans the whole ring (patterns and sizes hash
-// everywhere), so every shard must swap in the new model. The merged
-// response reports the first shard's fit (all shards train the same
-// deterministic sweep, so the weights are identical) with Purged
-// summed across the ring. Any shard failure fails the call — a
+// Train broadcasts the retrain to every shard — draining members
+// included, since they keep answering reads until removed: the
+// keyspace for one (device, dtype) spans the whole ring (patterns and
+// sizes hash everywhere), so every shard must swap in the new model.
+// The merged response reports the first shard's fit (all shards train
+// the same deterministic sweep, so the weights are identical) with
+// Purged summed across the ring. Any shard failure fails the call — a
 // half-trained ring would serve two models for one keyspace. Train is
 // exempt from per-attempt timeouts and retries: retrains legitimately
 // outlive any per-attempt budget, and a retried broadcast could apply
@@ -555,13 +665,16 @@ func (c *Client) fallbackBatch(ctx context.Context, req serve.BatchRequest, resp
 // train failed to land, and the caller re-issues).
 func (c *Client) Train(ctx context.Context, req serve.TrainRequest) (*serve.TrainResponse, error) {
 	c.requests.Inc()
+	topo := c.topology()
+	slots := topo.slots()
 	type result struct {
 		resp *serve.TrainResponse
 		err  error
 	}
-	results := make([]result, len(c.shards))
+	results := make([]result, len(slots))
 	var wg sync.WaitGroup
-	for i, s := range c.shards {
+	for i, slot := range slots {
+		s := topo.state(slot)
 		wg.Add(1)
 		go func(i int, s *shardState) {
 			defer wg.Done()
@@ -582,7 +695,7 @@ func (c *Client) Train(ctx context.Context, req serve.TrainRequest) (*serve.Trai
 		if r.err != nil {
 			c.failures.Inc()
 			if isTransport(r.err) {
-				return nil, fmt.Errorf("cluster: train on shard %s: %w", c.shards[i].name, r.err)
+				return nil, fmt.Errorf("cluster: train on shard %s: %w", topo.state(slots[i]).name, r.err)
 			}
 			// An in-band rejection (bad corpus, deterministic sweep
 			// failure) is identical on every shard; report it exactly
@@ -607,9 +720,12 @@ func (c *Client) Train(ctx context.Context, req serve.TrainRequest) (*serve.Trai
 // first healthy shard (the vocabulary is identical everywhere);
 // CacheLen is the ring-wide total.
 func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
-	healths := make([]*serve.HealthResponse, len(c.shards))
+	topo := c.topology()
+	members := topo.ring.Members()
+	healths := make([]*serve.HealthResponse, len(members))
 	var wg sync.WaitGroup
-	for i, s := range c.shards {
+	for i, m := range members {
+		s := topo.state(m.Slot)
 		wg.Add(1)
 		go func(i int, s *shardState) {
 			defer wg.Done()
@@ -639,11 +755,16 @@ func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
 	out := &serve.HealthResponse{
 		Status:  "down",
 		Metrics: metrics,
-		Shards:  make([]serve.ShardHealth, len(c.shards)),
+		Shards:  make([]serve.ShardHealth, len(members)),
 	}
 	up := 0
 	for i, h := range healths {
-		sh := serve.ShardHealth{Name: c.shards[i].name, Status: "down"}
+		sh := serve.ShardHealth{
+			Name:     topo.state(members[i].Slot).name,
+			Status:   "down",
+			Slot:     members[i].Slot,
+			Draining: members[i].Draining,
+		}
 		if h != nil {
 			up++
 			sh.Status = h.Status
@@ -662,7 +783,7 @@ func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
 		out.Shards[i] = sh
 	}
 	switch {
-	case up == len(c.shards):
+	case up == len(members):
 		out.Status = "ok"
 	case up > 0:
 		out.Status = "degraded"
@@ -680,8 +801,10 @@ func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
 // a router /metrics shows both routing behaviour and ring-wide cache
 // effectiveness.
 func (c *Client) Metrics() map[string]int64 {
+	topo := c.topology()
 	out := c.metrics.Snapshot()
-	for _, s := range c.shards {
+	for _, slot := range topo.slots() {
+		s := topo.state(slot)
 		if !s.up() {
 			continue
 		}
@@ -696,7 +819,8 @@ func (c *Client) Metrics() map[string]int64 {
 
 // Close closes every shard backend and the fallback, if any.
 func (c *Client) Close() {
-	for _, s := range c.shards {
+	topo := c.topology()
+	for _, s := range topo.shards {
 		s.backend.Close()
 	}
 	if c.cfg.Fallback != nil {

@@ -180,6 +180,29 @@ func (b *HTTPBackend) Metrics() map[string]int64 {
 	return resp.Metrics
 }
 
+// ExportCache fetches the shard's cache entries in the given hash
+// ranges via GET /cache/export, making a remote shard a handoff donor.
+func (b *HTTPBackend) ExportCache(ctx context.Context, ranges []serve.HashRange) (*serve.CacheSnapshot, error) {
+	path := "/cache/export"
+	if enc := serve.FormatHashRanges(ranges); enc != "" {
+		path += "?ranges=" + enc
+	}
+	var snap serve.CacheSnapshot
+	if err := b.get(ctx, path, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// ImportCache hands a snapshot to the shard via POST /cache/import.
+func (b *HTTPBackend) ImportCache(ctx context.Context, snap serve.CacheSnapshot) (*serve.CacheImportResult, error) {
+	var res serve.CacheImportResult
+	if err := b.post(ctx, "/cache/import", snap, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 // Close releases idle connections.
 func (b *HTTPBackend) Close() { b.client.CloseIdleConnections() }
 
@@ -288,4 +311,7 @@ func isTransport(err error) bool {
 	return errors.As(err, &te)
 }
 
-var _ serve.Backend = (*HTTPBackend)(nil)
+var (
+	_ serve.Backend       = (*HTTPBackend)(nil)
+	_ serve.CacheMigrator = (*HTTPBackend)(nil)
+)

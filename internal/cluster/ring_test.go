@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/serve"
 )
 
 func sampleKeys(n int) []string {
@@ -82,4 +84,228 @@ func TestRingSingleShardOwnsEverything(t *testing.T) {
 			t.Fatal("single-shard ring must own every key")
 		}
 	}
+}
+
+// movedRanges flattens a diff's arcs for containment checks.
+func movedRanges(moves []RangeMove) []serve.HashRange {
+	out := make([]serve.HashRange, len(moves))
+	for i, mv := range moves {
+		out[i] = mv.Range
+	}
+	return out
+}
+
+// TestRingEpochOwnershipDiff is the epoch-change property: a key
+// changes owner across an Add (or Drain) if and only if its hash lies
+// in a range DiffOwnership reported, and then exactly from the range's
+// From to its To slot.
+func TestRingEpochOwnershipDiff(t *testing.T) {
+	old := NewRing(3, 32, 0)
+	grown, slot := old.Add()
+	drained, err := old.Drain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		next *Ring
+	}{
+		{"add", grown},
+		{"drain", drained},
+	}
+	if slot != 3 {
+		t.Fatalf("Add handed out slot %d, want 3", slot)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			moves := DiffOwnership(old, tc.next)
+			if len(moves) == 0 {
+				t.Fatal("topology change moved no ranges")
+			}
+			ranges := movedRanges(moves)
+			movedKeys := 0
+			for _, k := range sampleKeys(2000) {
+				h := hashString(k)
+				before, after := old.Owner(k), tc.next.Owner(k)
+				if serve.HashRangesContain(ranges, h) {
+					movedKeys++
+					var mv *RangeMove
+					for i := range moves {
+						if moves[i].Range.Contains(h) {
+							mv = &moves[i]
+							break
+						}
+					}
+					if before != mv.From || after != mv.To {
+						t.Fatalf("key %q moved %d→%d but its range says %d→%d", k, before, after, mv.From, mv.To)
+					}
+				} else if before != after {
+					t.Fatalf("key %q changed owner %d→%d outside every moved range", k, before, after)
+				}
+			}
+			if movedKeys == 0 {
+				t.Error("no sample key fell in a moved range; sample too small to prove anything")
+			}
+		})
+	}
+}
+
+// TestRingAddThenRemoveRestoresOwnership: because a member's points
+// are a pure function of (seed, slot, vnodes), growing and then
+// removing the same member restores the previous ownership exactly —
+// two epochs later.
+func TestRingAddThenRemoveRestoresOwnership(t *testing.T) {
+	r := NewRing(3, 32, 0)
+	grown, slot := r.Add()
+	restored, err := grown.Remove(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Epoch() != r.Epoch()+2 {
+		t.Fatalf("epoch %d after add+remove, want %d", restored.Epoch(), r.Epoch()+2)
+	}
+	if moves := DiffOwnership(r, restored); len(moves) != 0 {
+		t.Fatalf("add+remove of slot %d left %d moved ranges: %v", slot, len(moves), moves)
+	}
+	for _, k := range sampleKeys(512) {
+		if r.Owner(k) != restored.Owner(k) {
+			t.Fatalf("key %q owner %d before add+remove, %d after", k, r.Owner(k), restored.Owner(k))
+		}
+	}
+}
+
+// TestRingDrainSequenceDeterministic: draining keeps the member
+// reachable (last in every preference sequence) and the failover order
+// stays deterministic across independently derived lineages.
+func TestRingDrainSequenceDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(3, 32, 0)
+		r, _ = r.Add()
+		r, err := r.Drain(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for _, k := range sampleKeys(256) {
+		sa, sb := a.Sequence(k), b.Sequence(k)
+		if fmt.Sprint(sa) != fmt.Sprint(sb) {
+			t.Fatalf("identical lineages disagree on sequence for %q: %v vs %v", k, sa, sb)
+		}
+		if len(sa) != 4 {
+			t.Fatalf("sequence %v does not cover all 4 members", sa)
+		}
+		if sa[len(sa)-1] != 1 {
+			t.Fatalf("draining member 1 must come last in sequence %v", sa)
+		}
+		if a.Owner(k) == 1 {
+			t.Fatalf("draining member 1 still owns key %q", k)
+		}
+	}
+}
+
+// TestRingDrainErrors: the guard rails around emptying a ring.
+func TestRingDrainErrors(t *testing.T) {
+	r := NewRing(2, 16, 0)
+	d, err := r.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Drain(0); err == nil {
+		t.Error("draining an already-draining member must fail")
+	}
+	if _, err := d.Drain(1); err == nil {
+		t.Error("draining the last active member must fail")
+	}
+	if _, err := d.Drain(7); err == nil {
+		t.Error("draining an unknown slot must fail")
+	}
+	if _, err := d.Remove(1); err == nil {
+		t.Error("removing the last active member must fail")
+	}
+	if _, err := d.Remove(0); err != nil {
+		t.Errorf("removing the drained member must succeed: %v", err)
+	}
+}
+
+// FuzzRingEpochInvariants drives random topology histories and checks
+// the ring's structural invariants at every epoch: the owner is always
+// an active member, every preference sequence is a permutation of the
+// members with actives first and the owner leading, and keys outside
+// the diff's moved ranges never change owner.
+func FuzzRingEpochInvariants(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2})
+	f.Add(uint64(7), []byte{0, 0, 1, 2, 1, 0})
+	f.Add(uint64(42), []byte{2, 2, 2, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		r := NewRing(3, 16, seed)
+		keys := sampleKeys(64)
+		for step, op := range ops {
+			if step > 12 {
+				break
+			}
+			prev := r
+			var err error
+			switch op % 3 {
+			case 0:
+				r, _ = r.Add()
+			case 1: // drain the first non-draining member, if allowed
+				members := r.Members()
+				target := members[int(op/3)%len(members)].Slot
+				var nr *Ring
+				nr, err = r.Drain(target)
+				if err == nil {
+					r = nr
+				}
+			case 2: // remove the member chosen by the op byte, if allowed
+				members := r.Members()
+				target := members[int(op/3)%len(members)].Slot
+				var nr *Ring
+				nr, err = r.Remove(target)
+				if err == nil {
+					r = nr
+				}
+			}
+			if err != nil {
+				continue // rejected ops must leave the ring untouched
+			}
+			if r.Epoch() != prev.Epoch()+1 {
+				t.Fatalf("epoch %d after op %d, want %d", r.Epoch(), op, prev.Epoch()+1)
+			}
+			if r.ActiveShards() < 1 {
+				t.Fatal("ring lost its last active member")
+			}
+			active := make(map[int]bool)
+			for _, m := range r.Members() {
+				if !m.Draining {
+					active[m.Slot] = true
+				}
+			}
+			ranges := movedRanges(DiffOwnership(prev, r))
+			for _, k := range keys {
+				owner := r.Owner(k)
+				if !active[owner] {
+					t.Fatalf("owner %d of %q is not an active member", owner, k)
+				}
+				if !serve.HashRangesContain(ranges, hashString(k)) && prev.Owner(k) != owner {
+					t.Fatalf("key %q changed owner %d→%d outside the diff", k, prev.Owner(k), owner)
+				}
+				seq := r.Sequence(k)
+				if len(seq) != len(r.Members()) || seq[0] != owner {
+					t.Fatalf("sequence %v must cover %d members owner-first", seq, len(r.Members()))
+				}
+				seen := make(map[int]bool)
+				for i, s := range seq {
+					if seen[s] {
+						t.Fatalf("sequence %v repeats member %d", seq, s)
+					}
+					seen[s] = true
+					if i < r.ActiveShards() && !active[s] {
+						t.Fatalf("sequence %v lists draining member %d before actives", seq, s)
+					}
+				}
+			}
+		}
+	})
 }

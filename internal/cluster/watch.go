@@ -1,0 +1,152 @@
+package cluster
+
+// Config-file watching: the declarative path to the same topology
+// changes the admin API performs imperatively. cmd/powerrouter
+// -watch-config polls a file of shard URLs (one per line, # comments)
+// and reconciles the ring against it — URLs not yet in the ring are
+// added (with cache warmup), members no longer listed are drained and
+// removed. Reconciliation is deliberately poll-based rather than
+// inotify: it needs no platform dependencies, and a topology change is
+// a seconds-scale operation for which sub-interval latency buys
+// nothing.
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// DefaultWatchInterval is the config-file poll cadence.
+const DefaultWatchInterval = 2 * time.Second
+
+// ParseShardList parses a watch-config payload: one shard URL per
+// line, blank lines and #-comments ignored. An empty list is an error
+// — a ring cannot shrink to nothing, and an operator truncating the
+// file by accident must not drain the fleet.
+func ParseShardList(data []byte) ([]string, error) {
+	var urls []string
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if seen[line] {
+			return nil, fmt.Errorf("cluster: shard list: duplicate url %q (line %d)", line, ln+1)
+		}
+		seen[line] = true
+		urls = append(urls, line)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: shard list: no shard urls")
+	}
+	return urls, nil
+}
+
+// ReconcileShards drives the ring toward the given shard-URL set:
+// listed URLs missing from the ring are added (warming their caches),
+// members whose name is no longer listed are drained and removed. It
+// returns a human-readable action log, empty when the ring already
+// matches. Shard names are matched against the URLs, so reconcile only
+// composes with shards added under their URL as name (the watcher's
+// own convention).
+func (c *Client) ReconcileShards(ctx context.Context, urls []string, mkBackend func(url string) (serve.Backend, error)) ([]string, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: reconcile: empty shard list")
+	}
+	want := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		want[u] = true
+	}
+	var actions []string
+
+	// Drain first so a rolling replacement (remove A, add B) frees A's
+	// keys before B takes its share — order only affects intermediate
+	// placement, not the final ring.
+	for _, m := range c.topology().ring.Members() {
+		name := c.topology().state(m.Slot).name
+		if want[name] {
+			continue
+		}
+		if !m.Draining {
+			rep, err := c.DrainShard(ctx, m.Slot)
+			if err != nil {
+				return actions, fmt.Errorf("cluster: reconcile: drain %s: %w", name, err)
+			}
+			actions = append(actions, fmt.Sprintf("drained %s (slot %d, epoch %d, migrated %d)", name, m.Slot, rep.Epoch, rep.EntriesMigrated))
+		}
+		if _, err := c.RemoveShard(m.Slot); err != nil {
+			return actions, fmt.Errorf("cluster: reconcile: remove %s: %w", name, err)
+		}
+		actions = append(actions, fmt.Sprintf("removed %s (slot %d)", name, m.Slot))
+	}
+
+	for _, u := range urls {
+		if _, exists := c.shardSlotByName(u); exists {
+			continue
+		}
+		backend, err := mkBackend(u)
+		if err != nil {
+			return actions, fmt.Errorf("cluster: reconcile: backend for %s: %w", u, err)
+		}
+		rep, err := c.AddShard(ctx, u, backend)
+		if err != nil {
+			backend.Close()
+			return actions, fmt.Errorf("cluster: reconcile: add %s: %w", u, err)
+		}
+		actions = append(actions, fmt.Sprintf("added %s (slot %d, epoch %d, migrated %d)", u, rep.Slot, rep.Epoch, rep.EntriesMigrated))
+	}
+	return actions, nil
+}
+
+// WatchConfig polls path every interval (0 = DefaultWatchInterval) and
+// reconciles the ring against its shard list whenever the content
+// changes, until ctx is cancelled. Parse and reconcile errors are
+// reported through logf and retried on the next change — a bad write
+// must not kill the watcher. logf may be nil.
+func (c *Client) WatchConfig(ctx context.Context, path string, interval time.Duration, mkBackend func(url string) (serve.Backend, error), logf func(format string, args ...any)) {
+	if interval <= 0 {
+		interval = DefaultWatchInterval
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var lastHash [sha256.Size]byte
+	applied := false
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			logf("watch-config: read %s: %v", path, err)
+		} else if h := sha256.Sum256(data); !applied || h != lastHash {
+			lastHash = h
+			urls, err := ParseShardList(data)
+			if err != nil {
+				logf("watch-config: %v", err)
+				applied = true // don't re-log an unchanged bad file
+			} else {
+				actions, err := c.ReconcileShards(ctx, urls, mkBackend)
+				for _, a := range actions {
+					logf("watch-config: %s", a)
+				}
+				if err != nil {
+					logf("watch-config: %v", err)
+					applied = false // retry next tick
+				} else {
+					applied = true
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}

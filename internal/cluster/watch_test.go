@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestParseShardList(t *testing.T) {
+	urls, err := ParseShardList([]byte("# fleet\nhttp://a:1\n\n  http://b:2  \n# trailing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(urls) != "[http://a:1 http://b:2]" {
+		t.Fatalf("parsed %v", urls)
+	}
+	if _, err := ParseShardList([]byte("# only comments\n")); err == nil {
+		t.Error("empty shard list must be rejected")
+	}
+	if _, err := ParseShardList([]byte("http://a:1\nhttp://a:1\n")); err == nil {
+		t.Error("duplicate shard URL must be rejected")
+	}
+}
+
+// coreFactory hands out fresh in-process cores for any "URL", tracking
+// them for cleanup.
+func coreFactory(t *testing.T) func(url string) (serve.Backend, error) {
+	t.Helper()
+	return func(url string) (serve.Backend, error) {
+		c := serve.NewCore(testServeConfig())
+		t.Cleanup(c.Close)
+		return c, nil
+	}
+}
+
+// memberNames renders the client's current member names in slot order.
+func memberNames(c *Client) []string {
+	topo := c.topology()
+	var names []string
+	for _, m := range topo.ring.Members() {
+		names = append(names, topo.state(m.Slot).name)
+	}
+	return names
+}
+
+func TestReconcileShards(t *testing.T) {
+	cores := newCores(t, 1)
+	client, err := New(Config{
+		Shards:   []Shard{{Name: "shard://a", Backend: cores[0]}},
+		MaxSize:  192,
+		Cooldown: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	mk := coreFactory(t)
+	ctx := context.Background()
+
+	// Growing: one listed URL is new.
+	actions, err := client.ReconcileShards(ctx, []string{"shard://a", "shard://b"}, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || !strings.HasPrefix(actions[0], "added shard://b") {
+		t.Fatalf("actions %v, want one add of shard://b", actions)
+	}
+	if got := fmt.Sprint(memberNames(client)); got != "[shard://a shard://b]" {
+		t.Fatalf("members %s after grow", got)
+	}
+
+	// Convergence: reconciling the same list is a no-op.
+	actions, err = client.ReconcileShards(ctx, []string{"shard://a", "shard://b"}, mk)
+	if err != nil || len(actions) != 0 {
+		t.Fatalf("reconcile of a matching list: actions %v err %v, want none", actions, err)
+	}
+
+	// Shrinking: an unlisted member is drained and removed.
+	actions, err = client.ReconcileShards(ctx, []string{"shard://b"}, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 2 {
+		t.Fatalf("actions %v, want drain + remove", actions)
+	}
+	if got := fmt.Sprint(memberNames(client)); got != "[shard://b]" {
+		t.Fatalf("members %s after shrink", got)
+	}
+
+	// The empty list is refused outright: a truncated config file must
+	// not drain the fleet.
+	if _, err := client.ReconcileShards(ctx, nil, mk); err == nil {
+		t.Error("empty reconcile list must be rejected")
+	}
+}
+
+func TestWatchConfigAppliesFileChanges(t *testing.T) {
+	cores := newCores(t, 1)
+	client, err := New(Config{
+		Shards:   []Shard{{Name: "shard://a", Backend: cores[0]}},
+		MaxSize:  192,
+		Cooldown: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	path := filepath.Join(t.TempDir(), "shards.txt")
+	if err := os.WriteFile(path, []byte("shard://a\nshard://b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		client.WatchConfig(ctx, path, 5*time.Millisecond, coreFactory(t), t.Logf)
+	}()
+
+	waitFor := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if fmt.Sprint(memberNames(client)) == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("members %v never became %s", memberNames(client), want)
+	}
+	waitFor("[shard://a shard://b]")
+
+	// A bad write is logged and ignored, not applied.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if got := fmt.Sprint(memberNames(client)); got != "[shard://a shard://b]" {
+		t.Fatalf("empty file drained the ring to %s", got)
+	}
+
+	// A rolling replacement converges.
+	if err := os.WriteFile(path, []byte("shard://b\nshard://c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("[shard://b shard://c]")
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher did not stop on context cancellation")
+	}
+}

@@ -3,9 +3,11 @@
 // markers — each optionally followed by a fenced ```json request body —
 // becomes a list of requests a test can replay against a real handler,
 // asserting the documented status codes. docs/API.md is executed this
-// way by two suites: internal/serve runs the powerserve endpoints and
-// internal/fleet runs the fleetctl control-plane endpoints, so neither
-// half of the document can drift from its handler without failing CI.
+// way by three suites: internal/serve runs the powerserve endpoints
+// (cache handoff included), internal/fleet runs the fleetctl
+// control-plane endpoints and internal/cluster runs the router's
+// /admin topology endpoints, so no slice of the document can drift
+// from its handler without failing CI.
 package doctest
 
 import (
@@ -16,7 +18,7 @@ import (
 	"strings"
 )
 
-var roundtripMarker = regexp.MustCompile(`<!--\s*roundtrip\s+(GET|POST)\s+(\S+)\s+(\d{3})\s*-->`)
+var roundtripMarker = regexp.MustCompile(`<!--\s*roundtrip\s+(GET|POST|DELETE)\s+(\S+)\s+(\d{3})\s*-->`)
 
 // Example is one executable request from an API document: the marker's
 // method, path and expected status, the fenced JSON body bound to it

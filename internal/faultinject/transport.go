@@ -38,10 +38,14 @@ func sleepCtx(ctx context.Context, ms int) error {
 // Only POST requests count toward (and are eligible for) the schedule;
 // GET traffic — health, readiness and metrics probes — passes through
 // unfaulted so that polling cannot shift fault indices between runs.
+// FaultGET opts specific GET path prefixes into the schedule (e.g.
+// /cache/export, so a resize chaos test can fault a donor's handoff)
+// without making probe polling schedule-visible.
 type Transport struct {
-	plan  *Plan
-	shard int
-	next  http.RoundTripper
+	plan        *Plan
+	shard       int
+	next        http.RoundTripper
+	getPrefixes []string
 
 	mu    sync.Mutex
 	count int
@@ -56,6 +60,30 @@ func NewTransport(plan *Plan, shard int, next http.RoundTripper) *Transport {
 	return &Transport{plan: plan, shard: shard, next: next}
 }
 
+// FaultGET makes GET requests whose path starts with any of the given
+// prefixes count toward (and be eligible for) the fault schedule, like
+// POSTs. It returns the transport for chaining at construction time;
+// it is not safe to call after traffic has started.
+func (t *Transport) FaultGET(prefixes ...string) *Transport {
+	t.getPrefixes = append(t.getPrefixes, prefixes...)
+	return t
+}
+
+// eligible reports whether the request counts toward the schedule.
+func (t *Transport) eligible(req *http.Request) bool {
+	if req.Method == http.MethodPost {
+		return true
+	}
+	if req.Method == http.MethodGet {
+		for _, p := range t.getPrefixes {
+			if strings.HasPrefix(req.URL.Path, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Requests reports how many schedule-eligible (POST) requests have
 // passed through so far.
 func (t *Transport) Requests() int {
@@ -67,7 +95,7 @@ func (t *Transport) Requests() int {
 // RoundTrip implements http.RoundTripper, injecting the scheduled
 // fault for this request's index if the plan has one.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
-	if req.Method != http.MethodPost {
+	if !t.eligible(req) {
 		return t.next.RoundTrip(req)
 	}
 	t.mu.Lock()

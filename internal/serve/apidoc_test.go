@@ -23,9 +23,10 @@ import (
 )
 
 // isControlPlanePath reports whether a documented path belongs to the
-// fleetctl controller rather than powerserve.
+// fleetctl controller or the powerrouter admin surface rather than
+// powerserve.
 func isControlPlanePath(p string) bool {
-	return strings.HasPrefix(p, "/jobs") || strings.HasPrefix(p, "/fleet")
+	return strings.HasPrefix(p, "/jobs") || strings.HasPrefix(p, "/fleet") || strings.HasPrefix(p, "/admin")
 }
 
 func TestAPIDocExamplesRoundTrip(t *testing.T) {

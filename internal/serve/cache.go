@@ -30,6 +30,52 @@ func (k Key) RouteString() string {
 	return fmt.Sprintf("%s\x00%s\x00%s\x00%d", k.Device, k.DType, k.Pattern, k.Size)
 }
 
+// RouteHash returns the canonical 64-bit hash of a route string: FNV-1a,
+// stable across processes and Go versions. The cluster ring positions
+// keys with this exact function, and cache handoff ranges
+// (HashRange) are expressed over its output — serve and cluster must
+// agree on it bit for bit, which is why it lives here, below both.
+func RouteHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, s)
+	return h.Sum64()
+}
+
+// RouteHash returns the key's position in the routing hash space.
+func (k Key) RouteHash() uint64 { return RouteHash(k.RouteString()) }
+
+// HashRange is a wrapping arc of the 64-bit routing hash space: the
+// hashes h with After < h <= UpTo, walking clockwise (wrapping past
+// zero when After >= UpTo, except that After == UpTo denotes the full
+// space). Ring ownership diffs are expressed as lists of these arcs,
+// and cache export/import filters entries through them.
+type HashRange struct {
+	After uint64 `json:"after"`
+	UpTo  uint64 `json:"up_to"`
+}
+
+// Contains reports whether h lies on the arc.
+func (r HashRange) Contains(h uint64) bool {
+	switch {
+	case r.After == r.UpTo:
+		return true
+	case r.After < r.UpTo:
+		return h > r.After && h <= r.UpTo
+	default:
+		return h > r.After || h <= r.UpTo
+	}
+}
+
+// HashRangesContain reports whether any of the ranges contains h.
+func HashRangesContain(ranges []HashRange, h uint64) bool {
+	for _, r := range ranges {
+		if r.Contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
 // shardHash returns a stable hash of the key for shard selection, so
 // identical requests land on the same worker and the later ones find
 // the first one's cache entry instead of re-simulating.
@@ -100,6 +146,23 @@ func (c *lruCache) Put(k Key, resp PredictResponse) {
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
 	}
+}
+
+// export returns copies of the entries matching the predicate in
+// eviction order — least recently used first — so that replaying Put
+// over the result reproduces this cache's recency order exactly. The
+// order is deterministic for a deterministic request history, which is
+// what lets cache handoff preserve byte-identical hit/miss behaviour.
+func (c *lruCache) export(match func(Key) bool) []lruEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]lruEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*lruEntry); match(e.key) {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Purge removes every entry matching the predicate and returns how

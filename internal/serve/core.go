@@ -121,6 +121,8 @@ type Core struct {
 	failures    *telemetry.Counter
 	batches     *telemetry.Counter
 	coalesced   *telemetry.Counter
+	exported    *telemetry.Counter
+	imported    *telemetry.Counter
 	queueDepth  *telemetry.Gauge
 	inflight    *telemetry.Gauge
 }
@@ -141,6 +143,8 @@ func NewCore(cfg Config) *Core {
 		failures:    m.Counter("serve.failures"),
 		batches:     m.Counter("serve.batch.requests"),
 		coalesced:   m.Counter("serve.batch.coalesced"),
+		exported:    m.Counter("serve.cache.exported"),
+		imported:    m.Counter("serve.cache.imported"),
 		queueDepth:  m.Gauge("serve.queue.depth"),
 		inflight:    m.Gauge("serve.inflight"),
 	}

@@ -19,6 +19,10 @@ import (
 // maxBodyBytes bounds request bodies; every valid request is tiny.
 const maxBodyBytes = 1 << 20
 
+// maxImportBodyBytes bounds POST /cache/import bodies, which carry a
+// whole cache snapshot rather than one request.
+const maxImportBodyBytes = 64 << 20
+
 // HealthResponse is the /healthz payload: liveness plus the serving
 // metrics (cache hit counters, queue depth and high-water marks). A
 // router's health additionally lists its shards.
@@ -41,6 +45,11 @@ type ShardHealth struct {
 	Status string `json:"status"`
 	// CacheLen is the shard's prediction-cache size (0 when down).
 	CacheLen int `json:"cache_len"`
+	// Slot is the member's stable ring slot.
+	Slot int `json:"slot"`
+	// Draining marks a member that no longer owns keys but stays
+	// readable until removed.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // ReadyResponse is the GET /readyz payload. Status is "ready" (HTTP
@@ -65,8 +74,10 @@ type MetricsResponse struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
-// Handler adapts any Backend to the six-endpoint HTTP API. A Core
-// and a cluster.Client serve identical wire surfaces through it.
+// Handler adapts any Backend to the six-endpoint HTTP API — plus, for
+// backends that implement CacheMigrator (single nodes), the
+// GET /cache/export and POST /cache/import handoff pair. A Core and a
+// cluster.Client serve identical wire surfaces through it otherwise.
 func Handler(b Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
@@ -144,7 +155,52 @@ func Handler(b Backend) http.Handler {
 			CacheHitRate: hitRateFrom(m),
 		})
 	})
+	if mig, ok := b.(CacheMigrator); ok {
+		mountMigrator(mux, mig)
+	}
 	return mux
+}
+
+// mountMigrator adds the cache-handoff pair for backends that can
+// donate and receive cache snapshots (single nodes; routers cannot —
+// their cache lives on the shards).
+func mountMigrator(mux *http.ServeMux, mig CacheMigrator) {
+	mux.HandleFunc("/cache/export", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use GET"})
+			return
+		}
+		ranges, err := ParseHashRanges(r.URL.Query().Get("ranges"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad ranges: " + err.Error()})
+			return
+		}
+		snap, err := mig.ExportCache(r.Context(), ranges)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("/cache/import", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use POST with a JSON body"})
+			return
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxImportBodyBytes))
+		dec.DisallowUnknownFields()
+		var snap CacheSnapshot
+		if err := dec.Decode(&snap); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+			return
+		}
+		res, err := mig.ImportCache(r.Context(), snap)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
 }
 
 // hitRateFrom derives the lifetime cache hit-rate from a metrics

@@ -1,0 +1,167 @@
+package serve
+
+// Cache handoff: the donor/importer halves of a live ring resize. When
+// the cluster layer moves key ranges from one shard to another it asks
+// the donor to export the LRU entries whose keys fall in the moved
+// ranges (ExportCache) and hands them to the new owner (ImportCache),
+// so the new owner starts warm and a post-resize request hits exactly
+// where a single node would have hit. Both halves are deliberately
+// ring-agnostic: serve knows hash ranges, not topologies.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CacheMigrator is the optional backend surface for live cache
+// handoff. *Core implements it natively; cluster.HTTPBackend forwards
+// it over GET /cache/export and POST /cache/import, which Handler
+// mounts for any backend that implements this interface.
+type CacheMigrator interface {
+	// ExportCache snapshots the cached predictions whose keys fall in
+	// the given hash ranges (nil = every entry), least recently used
+	// first. Entries computed against a retrained-away predictor
+	// generation are omitted — they would be recomputed anyway.
+	ExportCache(ctx context.Context, ranges []HashRange) (*CacheSnapshot, error)
+	// ImportCache installs a donor's snapshot into the local cache in
+	// snapshot order, re-stamping each entry with the local predictor
+	// generation. Entries outside the snapshot's declared ranges are
+	// skipped (the importer does not own them); malformed entries fail
+	// the whole import loudly.
+	ImportCache(ctx context.Context, snap CacheSnapshot) (*CacheImportResult, error)
+}
+
+// CacheSnapshot is the wire form of a cache handoff: the hash ranges
+// the donor was asked for and the matching entries in eviction order
+// (least recently used first).
+type CacheSnapshot struct {
+	// Ranges echoes the export filter; an importer skips entries that
+	// fall outside it. Empty means unfiltered.
+	Ranges []HashRange `json:"ranges,omitempty"`
+	// Entries are the exported predictions, least recently used first,
+	// so that importing them in order reproduces the donor's recency
+	// order.
+	Entries []CacheEntry `json:"entries"`
+}
+
+// CacheEntry is one exported prediction: the canonical request that
+// keys it and the response bytes it would serve.
+type CacheEntry struct {
+	Request  PredictRequest  `json:"request"`
+	Response PredictResponse `json:"response"`
+}
+
+// CacheImportResult reports what an import did.
+type CacheImportResult struct {
+	// Imported counts entries installed into the cache.
+	Imported int `json:"imported"`
+	// Skipped counts well-formed entries outside the snapshot's declared
+	// ranges, which the importer ignored.
+	Skipped int `json:"skipped"`
+}
+
+// ExportCache implements CacheMigrator over the core's LRU.
+func (c *Core) ExportCache(ctx context.Context, ranges []HashRange) (*CacheSnapshot, error) {
+	match := func(k Key) bool {
+		return len(ranges) == 0 || HashRangesContain(ranges, k.RouteHash())
+	}
+	entries := c.cache.export(match)
+	snap := &CacheSnapshot{Ranges: ranges, Entries: make([]CacheEntry, 0, len(entries))}
+	for _, e := range entries {
+		// A stale generation means a retrain superseded this entry; the
+		// donor itself would recompute it, so the importer must too.
+		if e.resp.gen != c.registry.currentGen(e.key.Device, e.key.DType) {
+			continue
+		}
+		c.exported.Inc()
+		snap.Entries = append(snap.Entries, CacheEntry{
+			Request: PredictRequest{
+				Device:  e.key.Device,
+				DType:   e.key.DType.String(),
+				Pattern: e.key.Pattern,
+				Size:    e.key.Size,
+			},
+			Response: e.resp,
+		})
+	}
+	return snap, nil
+}
+
+// ImportCache implements CacheMigrator: each entry is re-validated
+// through the same resolver a live request passes, re-stamped with the
+// local predictor generation (lazily training the predictor — the
+// handoff warms the model alongside the cache) and installed in
+// snapshot order. Any malformed entry fails the import as a request
+// error; entries outside the declared ranges are skipped, not errors.
+func (c *Core) ImportCache(ctx context.Context, snap CacheSnapshot) (*CacheImportResult, error) {
+	res := &CacheImportResult{}
+	for i, e := range snap.Entries {
+		r, err := c.resolve(e.Request)
+		if err != nil {
+			return nil, badRequestf("cache import: entry %d: %v", i, err)
+		}
+		if e.Response.Device != r.Key.Device || e.Response.DType != r.DType.String() ||
+			e.Response.Pattern != r.Key.Pattern || e.Response.Size != r.Key.Size {
+			return nil, badRequestf("cache import: entry %d: response identity %s/%s/%s/%d does not match its request key %s/%s/%s/%d",
+				i, e.Response.Device, e.Response.DType, e.Response.Pattern, e.Response.Size,
+				r.Key.Device, r.DType, r.Key.Pattern, r.Key.Size)
+		}
+		if len(snap.Ranges) > 0 && !HashRangesContain(snap.Ranges, r.Key.RouteHash()) {
+			res.Skipped++
+			continue
+		}
+		entry, err := c.registry.Get(ctx, r.Device, r.DType)
+		if err != nil {
+			return nil, err
+		}
+		resp := e.Response
+		resp.Cached = false
+		resp.Degraded = false
+		resp.gen = entry.gen
+		c.cache.Put(r.Key, resp)
+		c.imported.Inc()
+		res.Imported++
+	}
+	return res, nil
+}
+
+// FormatHashRanges renders ranges as the /cache/export query syntax:
+// comma-separated after-upto pairs in hex, e.g. "1f-a0,ff00-22".
+func FormatHashRanges(ranges []HashRange) string {
+	parts := make([]string, len(ranges))
+	for i, r := range ranges {
+		parts[i] = fmt.Sprintf("%x-%x", r.After, r.UpTo)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseHashRanges parses the /cache/export query syntax back into
+// ranges. The empty string parses to nil (export everything).
+func ParseHashRanges(s string) ([]HashRange, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ranges := make([]HashRange, len(parts))
+	for i, p := range parts {
+		lo, hi, ok := strings.Cut(p, "-")
+		if !ok {
+			return nil, fmt.Errorf("range %q is not after-upto", p)
+		}
+		after, err := strconv.ParseUint(lo, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("range %q: bad after: %v", p, err)
+		}
+		upTo, err := strconv.ParseUint(hi, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("range %q: bad up_to: %v", p, err)
+		}
+		ranges[i] = HashRange{After: after, UpTo: upTo}
+	}
+	return ranges, nil
+}
+
+// compile-time check that Core can donate and receive cache handoffs.
+var _ CacheMigrator = (*Core)(nil)

@@ -1,0 +1,294 @@
+package serve
+
+// Cache handoff round-trip tests: an exported snapshot imported into a
+// fresh core must reproduce the donor's cache byte-for-byte — entry
+// payloads AND eviction order — while malformed payloads fail loudly
+// and entries outside the declared ranges are skipped, never installed.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// migrateTestConfig uses a tiny cache so eviction order is observable.
+func migrateTestConfig() Config {
+	cfg := testConfig()
+	cfg.CacheSize = 3
+	return cfg
+}
+
+// warmKeys predicts one key per pattern, in order, returning the
+// requests issued.
+func warmKeys(t *testing.T, c *Core, patterns ...string) []PredictRequest {
+	t.Helper()
+	reqs := make([]PredictRequest, len(patterns))
+	for i, p := range patterns {
+		reqs[i] = PredictRequest{DType: "FP16", Pattern: p, Size: 32}
+		if _, err := c.Predict(context.Background(), reqs[i]); err != nil {
+			t.Fatalf("warm %q: %v", p, err)
+		}
+	}
+	return reqs
+}
+
+func TestCacheExportImportRoundTrip(t *testing.T) {
+	donor := NewCore(migrateTestConfig())
+	defer donor.Close()
+	// Cache size 3: after warming four keys the first is evicted and
+	// the LRU order is k2 < k3 < k4.
+	reqs := warmKeys(t, donor, "constant(1)", "constant(2)", "constant(3)", "constant(4)")
+
+	snap, err := donor.ExportCache(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Entries) != 3 {
+		t.Fatalf("exported %d entries, want 3 (cache size)", len(snap.Entries))
+	}
+	// Least recently used first: the evicted constant(1) is absent and
+	// constant(2) leads.
+	for i, want := range []string{"constant(2)", "constant(3)", "constant(4)"} {
+		if got := snap.Entries[i].Request.Pattern; got != want {
+			t.Errorf("entry %d is %q, want %q (eviction order)", i, got, want)
+		}
+	}
+
+	imp := NewCore(migrateTestConfig())
+	defer imp.Close()
+	res, err := imp.ImportCache(context.Background(), *snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imported != 3 || res.Skipped != 0 {
+		t.Fatalf("import result %+v, want 3 imported, 0 skipped", res)
+	}
+
+	// Entry bytes survive the round trip: a post-import request on the
+	// importer serves exactly what the donor serves, cached flag
+	// included, and the JSON wire forms agree byte-for-byte.
+	for _, req := range reqs[1:] {
+		a, err := donor.Predict(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := imp.Predict(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Cached || !b.Cached {
+			t.Errorf("%s: cached flags donor=%v importer=%v, want both true", req.Pattern, a.Cached, b.Cached)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Errorf("%s: imported response differs from donor's\ndonor:    %s\nimporter: %s", req.Pattern, ja, jb)
+		}
+	}
+
+	// Eviction order survives too: one new key on each side must evict
+	// the same victim (constant(2), the least recently used on both
+	// after the identical hit sequence above), leaving identical caches
+	// in identical recency order — observed via export, which does not
+	// perturb the LRU.
+	warmKeys(t, donor, "constant(5)")
+	warmKeys(t, imp, "constant(5)")
+	wantOrder := []string{"constant(3)", "constant(4)", "constant(5)"}
+	for side, c := range map[string]*Core{"donor": donor, "importer": imp} {
+		after, err := c.ExportCache(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after.Entries) != len(wantOrder) {
+			t.Fatalf("%s holds %d entries after overflow, want %d", side, len(after.Entries), len(wantOrder))
+		}
+		for i, want := range wantOrder {
+			if got := after.Entries[i].Request.Pattern; got != want {
+				t.Errorf("%s entry %d is %q, want %q (eviction order must survive the round trip)", side, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCacheExportFiltersByRange(t *testing.T) {
+	donor := NewCore(testConfig())
+	defer donor.Close()
+	reqs := warmKeys(t, donor, "constant(1)", "constant(2)", "constant(3)")
+
+	// A degenerate range holding exactly one key's hash.
+	h := donor.mustKey(t, reqs[1]).RouteHash()
+	ranges := []HashRange{{After: h - 1, UpTo: h}}
+	snap, err := donor.ExportCache(context.Background(), ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Entries) != 1 || snap.Entries[0].Request.Pattern != "constant(2)" {
+		t.Fatalf("range export returned %d entries (%+v), want exactly constant(2)", len(snap.Entries), snap.Entries)
+	}
+}
+
+// mustKey resolves a request to its cache key.
+func (c *Core) mustKey(t *testing.T, req PredictRequest) Key {
+	t.Helper()
+	r, err := c.resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Key
+}
+
+func TestCacheImportSkipsUnownedRanges(t *testing.T) {
+	donor := NewCore(testConfig())
+	defer donor.Close()
+	reqs := warmKeys(t, donor, "constant(1)", "constant(2)")
+	snap, err := donor.ExportCache(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Declare a range that holds only constant(1): the importer must
+	// install that entry and skip the other, silently.
+	h := donor.mustKey(t, reqs[0]).RouteHash()
+	snap.Ranges = []HashRange{{After: h - 1, UpTo: h}}
+
+	imp := NewCore(testConfig())
+	defer imp.Close()
+	res, err := imp.ImportCache(context.Background(), *snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imported != 1 || res.Skipped != 1 {
+		t.Fatalf("import result %+v, want 1 imported, 1 skipped", res)
+	}
+	a, err := imp.Predict(context.Background(), reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cached {
+		t.Error("in-range entry was not installed")
+	}
+	b, err := imp.Predict(context.Background(), reqs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cached {
+		t.Error("out-of-range entry was installed despite the range filter")
+	}
+}
+
+func TestCacheImportRejectsMalformedEntries(t *testing.T) {
+	imp := NewCore(testConfig())
+	defer imp.Close()
+	good := CacheEntry{
+		Request:  PredictRequest{DType: "FP16", Pattern: "constant(1)", Size: 32},
+		Response: PredictResponse{Device: "A100-PCIe-40GB", DType: "FP16", Pattern: "constant(1)", Size: 32},
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(e *CacheEntry)
+		wantSub string
+	}{
+		{"invalid pattern", func(e *CacheEntry) { e.Request.Pattern = "frobnicate(" }, "entry 0"},
+		{"oversized", func(e *CacheEntry) { e.Request.Size = 1 << 20; e.Response.Size = 1 << 20 }, "entry 0"},
+		{"identity mismatch", func(e *CacheEntry) { e.Response.Size = 48 }, "does not match"},
+		{"dtype mismatch", func(e *CacheEntry) { e.Response.DType = "INT8" }, "does not match"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := good
+			tc.mutate(&e)
+			_, err := imp.ImportCache(context.Background(), CacheSnapshot{Entries: []CacheEntry{e}})
+			if err == nil {
+				t.Fatal("malformed entry imported without error")
+			}
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("error %v is not a RequestError (must map to HTTP 400)", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCacheEndpointsOverHTTP(t *testing.T) {
+	donorSrv := httptest.NewServer(Handler(NewCore(testConfig())))
+	defer donorSrv.Close()
+	impSrv := httptest.NewServer(Handler(NewCore(testConfig())))
+	defer impSrv.Close()
+
+	// Warm the donor through its HTTP surface.
+	for i := 1; i <= 2; i++ {
+		body := fmt.Sprintf(`{"dtype": "FP16", "pattern": "constant(%d)", "size": 32}`, i)
+		resp, err := http.Post(donorSrv.URL+"/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// Export over the wire, import over the wire.
+	resp, err := http.Get(donorSrv.URL + "/cache/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap CacheSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(snap.Entries) != 2 {
+		t.Fatalf("exported %d entries over HTTP, want 2", len(snap.Entries))
+	}
+
+	payload, _ := json.Marshal(snap)
+	resp, err = http.Post(impSrv.URL+"/cache/import", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res CacheImportResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || res.Imported != 2 {
+		t.Fatalf("import over HTTP: status %d result %+v, want 200 with 2 imported", resp.StatusCode, res)
+	}
+
+	// Malformed wire payloads are 400s with a loud error body.
+	for name, body := range map[string]string{
+		"garbage json":  `{"entries": [{]`,
+		"unknown field": `{"entries": [], "bogus": 1}`,
+		"bad entry":     `{"entries": [{"request": {"dtype": "FP16", "pattern": "frobnicate(", "size": 32}, "response": {}}]}`,
+	} {
+		resp, err := http.Post(impSrv.URL+"/cache/import", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || eb.Error == "" {
+			t.Errorf("%s: status %d error %q, want 400 with a message", name, resp.StatusCode, eb.Error)
+		}
+	}
+
+	// Bad ranges on export are 400 too.
+	resp, err = http.Get(donorSrv.URL + "/cache/export?ranges=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad ranges: status %d, want 400", resp.StatusCode)
+	}
+}
