@@ -41,6 +41,14 @@ var (
 	cpuSuffix = regexp.MustCompile(`-\d+$`)
 )
 
+// defaultFilter gates the figure benchmarks plus the engine
+// microbenchmarks behind them: the per-dtype GEMM kernel runs
+// (BenchmarkGEMM/<dtype>) and full activity analyses
+// (BenchmarkActivity/<dtype>). A kernel or analyzer regression then
+// fails the gate directly, with a per-dtype culprit, instead of only
+// surfacing as a diluted slowdown of whichever figures exercise it.
+const defaultFilter = `^Benchmark(Fig|GEMM/|Activity/)`
+
 type testEvent struct {
 	Action string `json:"Action"`
 	Test   string `json:"Test"`
@@ -112,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		threshold = fs.Float64("threshold", 25, "fail when a benchmark regresses by more than this percentage")
-		filter    = fs.String("filter", `^BenchmarkFig`, "regexp of benchmark names the gate applies to")
+		filter    = fs.String("filter", defaultFilter, "regexp of benchmark names the gate applies to")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2

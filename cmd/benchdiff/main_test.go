@@ -118,6 +118,50 @@ func TestGateThresholdBoundary(t *testing.T) {
 	}
 }
 
+func TestDefaultFilterCoverage(t *testing.T) {
+	// The default gate covers the figure benchmarks and the per-dtype
+	// engine microbenchmarks, but not unrelated or aggregate names —
+	// BenchmarkGEMM without a sub-benchmark would double-gate the same
+	// kernels its /<dtype> children already cover.
+	re := regexp.MustCompile(defaultFilter)
+	gated := []string{
+		"BenchmarkFig1Runtime",
+		"BenchmarkFig6aSparsity",
+		"BenchmarkGEMM/FP16-T",
+		"BenchmarkGEMM/INT8",
+		"BenchmarkActivity/FP32",
+		"BenchmarkActivity/BF16-T",
+	}
+	for _, name := range gated {
+		if !re.MatchString(name) {
+			t.Errorf("default filter must gate %s", name)
+		}
+	}
+	ungated := []string{
+		"BenchmarkReference",
+		"BenchmarkGEMM",
+		"BenchmarkAnalyze256FP16",
+		"BenchmarkPredict",
+	}
+	for _, name := range ungated {
+		if re.MatchString(name) {
+			t.Errorf("default filter must not gate %s", name)
+		}
+	}
+
+	// End to end through run(): a regression in a /<dtype> engine
+	// microbenchmark fails the default gate.
+	old := writeFile(t, "old.json", event("BenchmarkGEMM/FP16", 100))
+	slow := writeFile(t, "slow.json", event("BenchmarkGEMM/FP16", 200))
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{old, slow}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION(time)") {
+		t.Errorf("stdout missing REGRESSION(time):\n%s", stdout.String())
+	}
+}
+
 func TestGateAllocations(t *testing.T) {
 	filter := regexp.MustCompile(`^BenchmarkFig`)
 	mem := func(ns, allocs float64) meas { return meas{ns: ns, allocs: allocs, hasAllocs: true} }

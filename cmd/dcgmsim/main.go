@@ -52,7 +52,7 @@ func main() {
 	b := matrix.New(dt, *size, *size)
 	pat.Apply(a, rng.Derive(*seed, "A"))
 	pat.Apply(b, rng.Derive(*seed, "B"))
-	prob := kernels.NewProblem(dt, a, b.Transpose())
+	prob := kernels.NewTransposedProblem(dt, a, b)
 
 	rep, err := activity.Analyze(prob, activity.Config{Seed: 0xAC71})
 	if err != nil {

@@ -40,6 +40,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -182,6 +183,14 @@ func main() {
 		client: client,
 	}
 
+	// One number before any topology: what a single uncached Predict
+	// computation costs in-process. Every HTTP latency in the report
+	// decomposes into this floor plus transport, queueing and cache
+	// effects, so it anchors the comparison.
+	perOp := measureSingleCompute(*dtype, *size)
+	fmt.Printf("calibration: single in-process Predict compute (cache-miss path): %d ns/op (%v)\n\n",
+		perOp.Nanoseconds(), perOp.Round(time.Microsecond))
+
 	if *shards > 0 {
 		runScalingComparison(cfg, *shards, *resizeAt)
 		return
@@ -231,6 +240,33 @@ func runScalingComparison(cfg loadConfig, shards, resizeAt int) {
 	if singleRes.failed+ringRes.failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// measureSingleCompute times one uncached Predict on an in-process
+// Core — the simulation a cache miss pays on the serving hot path,
+// with no HTTP, queueing or cache in the way. The first request pays
+// the lazy predictor training outside the measured window; every
+// measured request uses a distinct pattern so each takes the
+// cache-miss path.
+func measureSingleCompute(dtype string, size int) time.Duration {
+	core := serve.NewCore(serve.Config{})
+	defer core.Close()
+	ctx := context.Background()
+	if _, err := core.Predict(ctx, serve.PredictRequest{
+		DType: dtype, Pattern: "constant(-1)", Size: size,
+	}); err != nil {
+		log.Fatalf("loadgen: calibration warm-up: %v", err)
+	}
+	const reps = 16
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := core.Predict(ctx, serve.PredictRequest{
+			DType: dtype, Pattern: fmt.Sprintf("constant(%d)", i), Size: size,
+		}); err != nil {
+			log.Fatalf("loadgen: calibration: %v", err)
+		}
+	}
+	return time.Since(t0) / reps
 }
 
 // startInstanceTopology serves one Core over loopback HTTP.

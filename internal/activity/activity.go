@@ -30,7 +30,6 @@ package activity
 import (
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -108,8 +107,22 @@ func (r *Report) PerMAC() PerMAC {
 
 // Analyze extracts the activity report for the problem. A and B must be
 // in operand layout (B already transposed if the experiment transposes
-// it).
+// it, or carried as transposed storage via Problem.BTransposed).
+// Analyze always performs full operand rescans — it is the reference
+// path the incremental stats are verified against.
 func Analyze(p *kernels.Problem, cfg Config) (*Report, error) {
+	return AnalyzeWithStats(p, cfg, nil, nil)
+}
+
+// AnalyzeWithStats is Analyze with optionally precomputed operand
+// statistics: stA for A in its row-stream orientation (ScanA), stB for
+// the logical B operand in its column-stream orientation (ScanB of the
+// operand, which equals ScanA of the stored matrix when the problem
+// stores B transposed). A nil argument falls back to a full scan of
+// that operand, so Analyze ≡ AnalyzeWithStats(p, cfg, nil, nil).
+// Reports are bit-identical to the full-rescan path as long as the
+// stats describe the operands actually passed.
+func AnalyzeWithStats(p *kernels.Problem, cfg Config, stA, stB *OperandStats) (*Report, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,41 +136,53 @@ func Analyze(p *kernels.Problem, cfg Config) (*Report, error) {
 	n, k, m := p.Dims()
 	r := &Report{MACs: p.MACs()}
 
-	// One fused pass per operand computes every exact term at once —
-	// toggles, per-k-slice significand sums, Hamming weight, non-zero
-	// count — instead of re-streaming each matrix once per statistic.
-	sigA := make([]int64, k) // Σ_i HW(sig A[i,kk]) per k-slice
-	sigB := make([]int64, k) // Σ_j HW(sig B[kk,j]) per k-slice
-	var statsA, statsB operandStats
-	if runtime.GOMAXPROCS(0) > 1 {
+	// One fused pass per unscanned operand computes every exact term
+	// at once — toggles, per-k-slice significand sums, Hamming weight,
+	// non-zero count — instead of re-streaming the matrix once per
+	// statistic.
+	scanBOp := func() *OperandStats {
+		if p.BTransposed {
+			// Operand columns are stored rows: the row-stream scan
+			// of the stored matrix IS the operand's column-stream
+			// profile (the transpose stats remap).
+			return ScanA(p.B)
+		}
+		return ScanB(p.B)
+	}
+	switch {
+	case stA == nil && stB == nil && runtime.GOMAXPROCS(0) > 1:
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			statsA = scanA(p.A, sigA)
+			stA = ScanA(p.A)
 		}()
-		statsB = scanB(p.B, sigB)
+		stB = scanBOp()
 		wg.Wait()
-	} else {
-		statsA = scanA(p.A, sigA)
-		statsB = scanB(p.B, sigB)
+	default:
+		if stA == nil {
+			stA = ScanA(p.A)
+		}
+		if stB == nil {
+			stB = scanBOp()
+		}
 	}
 
 	var ppUnits int64
 	for kk := 0; kk < k; kk++ {
-		ppUnits += sigA[kk] * sigB[kk]
+		ppUnits += stA.Sig[kk] * stB.Sig[kk]
 	}
 
-	aRowToggles := statsA.toggles
-	bColToggles := statsB.toggles
+	aRowToggles := stA.Toggles
+	bColToggles := stB.Toggles
 	r.OperandToggles = int64(m)*aRowToggles + int64(n)*bColToggles
 	r.MultPPUnits = ppUnits
-	r.MeanHammingA = float64(statsA.hamming) / float64(len(p.A.Bits))
-	r.MeanHammingB = float64(statsB.hamming) / float64(len(p.B.Bits))
+	r.MeanHammingA = float64(stA.Hamming) / float64(len(p.A.Bits))
+	r.MeanHammingB = float64(stB.Hamming) / float64(len(p.B.Bits))
 	// Independent placement approximation for the gating fraction; the
 	// sampled walk refines alignment but the zero fractions are exact.
-	nzA := float64(statsA.nonZero) / float64(len(p.A.Bits))
-	nzB := float64(statsB.nonZero) / float64(len(p.B.Bits))
+	nzA := float64(stA.NonZero) / float64(len(p.A.Bits))
+	nzB := float64(stB.NonZero) / float64(len(p.B.Bits))
 	r.NonZeroFrac = nzA * nzB
 
 	// Stream toggles: each A tile row panel is re-streamed once per
@@ -172,11 +197,24 @@ func Analyze(p *kernels.Problem, cfg Config) (*Report, error) {
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
-// operandStats are the per-operand exact aggregates of one fused scan.
-type operandStats struct {
-	toggles int64 // adjacent toggles along the operand's k stream
-	hamming int64 // total Hamming weight over the lane width
-	nonZero int64 // elements with a non-zero bit pattern
+// OperandStats are the exact aggregates one fused scan extracts from an
+// operand, in the operand's stream orientation: adjacent-element
+// toggles along the k stream, per-k-slice significand-weight sums,
+// total Hamming weight, and the non-zero element count. They are the
+// memoizable part of Analyze — everything in a Report except the
+// sampled trajectories derives from the two operands' OperandStats.
+type OperandStats struct {
+	Toggles int64   // adjacent toggles along the operand's k stream
+	Sig     []int64 // Σ HW(sig ·) per k-slice
+	Hamming int64   // total Hamming weight over the lane width
+	NonZero int64   // elements with a non-zero bit pattern
+}
+
+// clone copies st with its own Sig backing.
+func (st *OperandStats) clone() *OperandStats {
+	ns := *st
+	ns.Sig = append([]int64(nil), st.Sig...)
+	return &ns
 }
 
 // sigTab16 returns the per-dtype significand-weight table for the
@@ -196,11 +234,14 @@ func sigTab16(dt matrix.DType) *[1 << 16]uint8 {
 	}
 }
 
-// scanA streams A row-major once, accumulating per-column significand
-// sums into sig, adjacent-element toggles along rows (the A-side
-// operand stream), total Hamming weight, and the non-zero count.
-func scanA(mt *matrix.Matrix, sig []int64) operandStats {
-	var st operandStats
+// ScanA streams a matrix row-major once and returns its full
+// OperandStats in row-stream orientation (the A operand's stream;
+// also the B operand's stream when B is carried as transposed
+// storage): per-column significand sums, adjacent-element toggles
+// along rows, total Hamming weight, and the non-zero count.
+func ScanA(mt *matrix.Matrix) *OperandStats {
+	st := &OperandStats{Sig: make([]int64, mt.Cols)}
+	sig := st.Sig
 	tab := sigTab16(mt.DType)
 	hmask := bitops.LowMask(mt.DType.Width())
 	for i := 0; i < mt.Rows; i++ {
@@ -209,24 +250,24 @@ func scanA(mt *matrix.Matrix, sig []int64) operandStats {
 		if tab != nil {
 			for kk, b := range row {
 				sig[kk] += int64(tab[b&0xFFFF])
-				st.hamming += int64(bitops.Popcount32(b & hmask))
+				st.Hamming += int64(bitops.Popcount32(b & hmask))
 				if b != 0 {
-					st.nonZero++
+					st.NonZero++
 				}
 				if kk > 0 {
-					st.toggles += int64(bitops.Toggle32(prev, b))
+					st.Toggles += int64(bitops.Toggle32(prev, b))
 				}
 				prev = b
 			}
 		} else {
 			for kk, b := range row {
 				sig[kk] += int64(softfloat.SigPop32(b))
-				st.hamming += int64(bitops.Popcount32(b & hmask))
+				st.Hamming += int64(bitops.Popcount32(b & hmask))
 				if b != 0 {
-					st.nonZero++
+					st.NonZero++
 				}
 				if kk > 0 {
-					st.toggles += int64(bitops.Toggle32(prev, b))
+					st.Toggles += int64(bitops.Toggle32(prev, b))
 				}
 				prev = b
 			}
@@ -235,12 +276,13 @@ func scanA(mt *matrix.Matrix, sig []int64) operandStats {
 	return st
 }
 
-// scanB streams B row-major once, accumulating per-row significand
-// sums into sig, adjacent-element toggles down columns (the B-side
-// operand stream, computed row-pair-wise for locality), total Hamming
-// weight, and the non-zero count.
-func scanB(mt *matrix.Matrix, sig []int64) operandStats {
-	var st operandStats
+// ScanB streams a matrix row-major once and returns its full
+// OperandStats in column-stream orientation (the B operand's stream
+// for normal storage): per-row significand sums, adjacent-element
+// toggles down columns (computed row-pair-wise for locality), total
+// Hamming weight, and the non-zero count.
+func ScanB(mt *matrix.Matrix) *OperandStats {
+	st := &OperandStats{Sig: make([]int64, mt.Rows)}
 	tab := sigTab16(mt.DType)
 	hmask := bitops.LowMask(mt.DType.Width())
 	var prevRow []uint32
@@ -251,39 +293,39 @@ func scanB(mt *matrix.Matrix, sig []int64) operandStats {
 		case tab != nil && prevRow == nil:
 			for _, b := range row {
 				rowSig += int64(tab[b&0xFFFF])
-				st.hamming += int64(bitops.Popcount32(b & hmask))
+				st.Hamming += int64(bitops.Popcount32(b & hmask))
 				if b != 0 {
-					st.nonZero++
+					st.NonZero++
 				}
 			}
 		case tab != nil:
 			for j, b := range row {
 				rowSig += int64(tab[b&0xFFFF])
-				st.hamming += int64(bitops.Popcount32(b & hmask))
+				st.Hamming += int64(bitops.Popcount32(b & hmask))
 				if b != 0 {
-					st.nonZero++
+					st.NonZero++
 				}
-				st.toggles += int64(bitops.Toggle32(prevRow[j], b))
+				st.Toggles += int64(bitops.Toggle32(prevRow[j], b))
 			}
 		case prevRow == nil:
 			for _, b := range row {
 				rowSig += int64(softfloat.SigPop32(b))
-				st.hamming += int64(bitops.Popcount32(b & hmask))
+				st.Hamming += int64(bitops.Popcount32(b & hmask))
 				if b != 0 {
-					st.nonZero++
+					st.NonZero++
 				}
 			}
 		default:
 			for j, b := range row {
 				rowSig += int64(softfloat.SigPop32(b))
-				st.hamming += int64(bitops.Popcount32(b & hmask))
+				st.Hamming += int64(bitops.Popcount32(b & hmask))
 				if b != 0 {
-					st.nonZero++
+					st.NonZero++
 				}
-				st.toggles += int64(bitops.Toggle32(prevRow[j], b))
+				st.Toggles += int64(bitops.Toggle32(prevRow[j], b))
 			}
 		}
-		sig[kk] = rowSig
+		st.Sig[kk] = rowSig
 		prevRow = row
 	}
 	return st
@@ -364,42 +406,70 @@ func sampleWalk(p *kernels.Problem, cfg Config, r *Report) {
 	}
 	positions := samplePositions(n, m, samples, cfg.Seed)
 
-	// Group sample indices by output column, columns in ascending order.
-	byCol := make(map[int][]int)
+	// Order sample indices by output column so consecutive samples share
+	// (or neighbor) their B columns, then walk them two at a time:
+	// paired lanes have independent accumulator chains, so interleaving
+	// them hides the serial add latency. Per-lane trajectories (and
+	// hence results) are identical to one-at-a-time walks.
+	// Stable counting sort by column (equivalent to ordering by
+	// (column, sample index) — sample indices are appended in order).
+	colCount := make([]int, m+1)
+	for _, pos := range positions {
+		colCount[pos[1]+1]++
+	}
+	for j := 0; j < m; j++ {
+		colCount[j+1] += colCount[j]
+	}
+	order := make([]int, len(positions))
 	for s, pos := range positions {
-		byCol[pos[1]] = append(byCol[pos[1]], s)
+		order[colCount[pos[1]]] = s
+		colCount[pos[1]]++
 	}
-	cols := make([]int, 0, len(byCol))
-	for j := range byCol {
-		cols = append(cols, j)
-	}
-	sort.Ints(cols)
 
 	width := p.DType.Width()
-	type walkResult struct {
-		prodTog, accTog int64
-		alignSum        float64
-	}
-	results := make([]walkResult, len(positions))
+	results := make([]laneResult, len(positions))
 
-	walkGroup := func(bCol []uint32, j int) {
+	// gather returns operand column j as a contiguous slice: the stored
+	// row itself under transposed storage, otherwise a strided copy into
+	// buf.
+	gather := func(buf []uint32, j int) []uint32 {
+		if p.BTransposed {
+			return p.B.Row(j)
+		}
 		for kk := 0; kk < k; kk++ {
-			bCol[kk] = p.B.At(kk, j)
+			buf[kk] = p.B.At(kk, j)
 		}
-		for _, s := range byCol[j] {
-			pt, at, al := walkLane(p.DType, p.A.Row(positions[s][0]), bCol, width)
-			results[s] = walkResult{prodTog: pt, accTog: at, alignSum: al}
-		}
+		return buf
 	}
 
+	walkPair := func(buf0, buf1 []uint32, pi int) {
+		i := 2 * pi
+		s0 := order[i]
+		j0 := positions[s0][1]
+		b0 := gather(buf0, j0)
+		if i+1 == len(order) {
+			results[s0] = walkLane(p.DType, p.A.Row(positions[s0][0]), b0, width)
+			return
+		}
+		s1 := order[i+1]
+		b1 := b0
+		if j1 := positions[s1][1]; j1 != j0 {
+			b1 = gather(buf1, j1)
+		}
+		results[s0], results[s1] = walkLane2(p.DType,
+			p.A.Row(positions[s0][0]), b0, p.A.Row(positions[s1][0]), b1, width)
+	}
+
+	pairs := (len(order) + 1) / 2
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cols) {
-		workers = len(cols)
+	if workers > pairs {
+		workers = pairs
 	}
 	if workers <= 1 {
-		bCol := make([]uint32, k)
-		for _, j := range cols {
-			walkGroup(bCol, j)
+		buf0 := make([]uint32, k)
+		buf1 := make([]uint32, k)
+		for pi := 0; pi < pairs; pi++ {
+			walkPair(buf0, buf1, pi)
 		}
 	} else {
 		var next atomic.Int64
@@ -408,13 +478,14 @@ func sampleWalk(p *kernels.Problem, cfg Config, r *Report) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				bCol := make([]uint32, k)
+				buf0 := make([]uint32, k)
+				buf1 := make([]uint32, k)
 				for {
-					c := int(next.Add(1)) - 1
-					if c >= len(cols) {
+					pi := int(next.Add(1)) - 1
+					if pi >= pairs {
 						return
 					}
-					walkGroup(bCol, cols[c])
+					walkPair(buf0, buf1, pi)
 				}
 			}()
 		}
@@ -436,10 +507,27 @@ func sampleWalk(p *kernels.Problem, cfg Config, r *Report) {
 	}
 }
 
+// laneResult is one sampled output lane's walk outcome.
+type laneResult struct {
+	prodTog, accTog int64
+	alignSum        float64
+}
+
+// laneAlign converts a lane's accumulated misalignment popcount into the
+// alignment sum Σ_k (1 - pc_k/width). Every per-step alignment is an
+// exact multiple of 1/width (width is a power of two), so the integer
+// accumulation followed by one division is bit-identical to the
+// step-by-step float sum.
+func laneAlign(k, width int, pc int64) float64 {
+	return float64(int64(k)*int64(width)-pc) / float64(width)
+}
+
 // walkLane runs one output lane's exact arithmetic and counts register
 // toggles plus operand alignment.
-func walkLane(dt matrix.DType, aRow, bCol []uint32, width int) (prodTog, accTog int64, alignSum float64) {
+func walkLane(dt matrix.DType, aRow, bCol []uint32, width int) laneResult {
 	k := len(aRow)
+	var prodTog, accTog, alignPC int64
+	amask := bitops.LowMask(width)
 	switch dt {
 	case matrix.FP32:
 		var acc float32
@@ -455,7 +543,7 @@ func walkLane(dt matrix.DType, aRow, bCol []uint32, width int) (prodTog, accTog 
 			ab := math.Float32bits(acc)
 			accTog += int64(bitops.Toggle32(prevAcc, ab))
 			prevAcc = ab
-			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+			alignPC += int64(bitops.Popcount32((aRow[kk] ^ bCol[kk]) & amask))
 		}
 	case matrix.FP16:
 		var acc uint16
@@ -467,7 +555,7 @@ func walkLane(dt matrix.DType, aRow, bCol []uint32, width int) (prodTog, accTog 
 			acc = softfloat.Add16(acc, prod)
 			accTog += int64(bitops.Toggle16(prevAcc, acc))
 			prevAcc = acc
-			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+			alignPC += int64(bitops.Popcount32((aRow[kk] ^ bCol[kk]) & amask))
 		}
 	case matrix.FP16T:
 		var acc float32
@@ -481,7 +569,7 @@ func walkLane(dt matrix.DType, aRow, bCol []uint32, width int) (prodTog, accTog 
 			ab := math.Float32bits(acc)
 			accTog += int64(bitops.Toggle32(prevAcc, ab))
 			prevAcc = ab
-			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+			alignPC += int64(bitops.Popcount32((aRow[kk] ^ bCol[kk]) & amask))
 		}
 	case matrix.BF16T:
 		var acc float32
@@ -495,7 +583,7 @@ func walkLane(dt matrix.DType, aRow, bCol []uint32, width int) (prodTog, accTog 
 			ab := math.Float32bits(acc)
 			accTog += int64(bitops.Toggle32(prevAcc, ab))
 			prevAcc = ab
-			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+			alignPC += int64(bitops.Popcount32((aRow[kk] ^ bCol[kk]) & amask))
 		}
 	case matrix.INT8:
 		var acc int32
@@ -509,10 +597,132 @@ func walkLane(dt matrix.DType, aRow, bCol []uint32, width int) (prodTog, accTog 
 			ab := uint32(acc)
 			accTog += int64(bitops.Toggle32(prevAcc, ab))
 			prevAcc = ab
-			alignSum += bitops.Alignment(aRow[kk], bCol[kk], width)
+			alignPC += int64(bitops.Popcount32((aRow[kk] ^ bCol[kk]) & amask))
 		}
 	default:
 		panic("activity: unknown dtype")
 	}
-	return prodTog, accTog, alignSum
+	return laneResult{prodTog: prodTog, accTog: accTog, alignSum: laneAlign(k, width, alignPC)}
+}
+
+// walkLane2 walks two output lanes in one interleaved pass. Each
+// lane's product/accumulator trajectory is the exact sequence walkLane
+// would produce — the chains are independent — so the two results are
+// bit-identical to separate walks, but the interleaving overlaps the
+// serial accumulator latency of one lane with the other's. The lanes
+// may consume the same or different B columns.
+func walkLane2(dt matrix.DType, aRow0, bCol0, aRow1, bCol1 []uint32, width int) (laneResult, laneResult) {
+	k := len(bCol0)
+	var prodTog0, accTog0, alignPC0 int64
+	var prodTog1, accTog1, alignPC1 int64
+	amask := bitops.LowMask(width)
+	switch dt {
+	case matrix.FP32:
+		var acc0, acc1 float32
+		var prevProd0, prevAcc0, prevProd1, prevAcc1 uint32
+		for kk := 0; kk < k; kk++ {
+			bb0, bb1 := bCol0[kk], bCol1[kk]
+			a0, a1 := aRow0[kk], aRow1[kk]
+			pb0 := math.Float32bits(softfloat.F32FromBits(a0) * softfloat.F32FromBits(bb0))
+			pb1 := math.Float32bits(softfloat.F32FromBits(a1) * softfloat.F32FromBits(bb1))
+			prodTog0 += int64(bitops.Toggle32(prevProd0, pb0))
+			prodTog1 += int64(bitops.Toggle32(prevProd1, pb1))
+			prevProd0, prevProd1 = pb0, pb1
+			acc0 += softfloat.F32FromBits(pb0)
+			acc1 += softfloat.F32FromBits(pb1)
+			ab0 := math.Float32bits(acc0)
+			ab1 := math.Float32bits(acc1)
+			accTog0 += int64(bitops.Toggle32(prevAcc0, ab0))
+			accTog1 += int64(bitops.Toggle32(prevAcc1, ab1))
+			prevAcc0, prevAcc1 = ab0, ab1
+			alignPC0 += int64(bitops.Popcount32((a0 ^ bb0) & amask))
+			alignPC1 += int64(bitops.Popcount32((a1 ^ bb1) & amask))
+		}
+	case matrix.FP16:
+		var acc0, acc1 uint16
+		var prevProd0, prevAcc0, prevProd1, prevAcc1 uint16
+		for kk := 0; kk < k; kk++ {
+			bb0, bb1 := bCol0[kk], bCol1[kk]
+			a0, a1 := aRow0[kk], aRow1[kk]
+			prod0 := softfloat.Mul16(uint16(a0), uint16(bb0))
+			prod1 := softfloat.Mul16(uint16(a1), uint16(bb1))
+			prodTog0 += int64(bitops.Toggle16(prevProd0, prod0))
+			prodTog1 += int64(bitops.Toggle16(prevProd1, prod1))
+			prevProd0, prevProd1 = prod0, prod1
+			acc0 = softfloat.Add16(acc0, prod0)
+			acc1 = softfloat.Add16(acc1, prod1)
+			accTog0 += int64(bitops.Toggle16(prevAcc0, acc0))
+			accTog1 += int64(bitops.Toggle16(prevAcc1, acc1))
+			prevAcc0, prevAcc1 = acc0, acc1
+			alignPC0 += int64(bitops.Popcount32((a0 ^ bb0) & amask))
+			alignPC1 += int64(bitops.Popcount32((a1 ^ bb1) & amask))
+		}
+	case matrix.FP16T:
+		var acc0, acc1 float32
+		var prevProd0, prevAcc0, prevProd1, prevAcc1 uint32
+		for kk := 0; kk < k; kk++ {
+			bb0, bb1 := bCol0[kk], bCol1[kk]
+			a0, a1 := aRow0[kk], aRow1[kk]
+			pb0 := math.Float32bits(softfloat.F16ToF32(uint16(a0)) * softfloat.F16ToF32(uint16(bb0)))
+			pb1 := math.Float32bits(softfloat.F16ToF32(uint16(a1)) * softfloat.F16ToF32(uint16(bb1)))
+			prodTog0 += int64(bitops.Toggle32(prevProd0, pb0))
+			prodTog1 += int64(bitops.Toggle32(prevProd1, pb1))
+			prevProd0, prevProd1 = pb0, pb1
+			acc0 += softfloat.F32FromBits(pb0)
+			acc1 += softfloat.F32FromBits(pb1)
+			ab0 := math.Float32bits(acc0)
+			ab1 := math.Float32bits(acc1)
+			accTog0 += int64(bitops.Toggle32(prevAcc0, ab0))
+			accTog1 += int64(bitops.Toggle32(prevAcc1, ab1))
+			prevAcc0, prevAcc1 = ab0, ab1
+			alignPC0 += int64(bitops.Popcount32((a0 ^ bb0) & amask))
+			alignPC1 += int64(bitops.Popcount32((a1 ^ bb1) & amask))
+		}
+	case matrix.BF16T:
+		var acc0, acc1 float32
+		var prevProd0, prevAcc0, prevProd1, prevAcc1 uint32
+		for kk := 0; kk < k; kk++ {
+			bb0, bb1 := bCol0[kk], bCol1[kk]
+			a0, a1 := aRow0[kk], aRow1[kk]
+			pb0 := math.Float32bits(softfloat.BF16ToF32(uint16(a0)) * softfloat.BF16ToF32(uint16(bb0)))
+			pb1 := math.Float32bits(softfloat.BF16ToF32(uint16(a1)) * softfloat.BF16ToF32(uint16(bb1)))
+			prodTog0 += int64(bitops.Toggle32(prevProd0, pb0))
+			prodTog1 += int64(bitops.Toggle32(prevProd1, pb1))
+			prevProd0, prevProd1 = pb0, pb1
+			acc0 += softfloat.F32FromBits(pb0)
+			acc1 += softfloat.F32FromBits(pb1)
+			ab0 := math.Float32bits(acc0)
+			ab1 := math.Float32bits(acc1)
+			accTog0 += int64(bitops.Toggle32(prevAcc0, ab0))
+			accTog1 += int64(bitops.Toggle32(prevAcc1, ab1))
+			prevAcc0, prevAcc1 = ab0, ab1
+			alignPC0 += int64(bitops.Popcount32((a0 ^ bb0) & amask))
+			alignPC1 += int64(bitops.Popcount32((a1 ^ bb1) & amask))
+		}
+	case matrix.INT8:
+		var acc0, acc1 int32
+		var prevProd0, prevAcc0, prevProd1, prevAcc1 uint32
+		for kk := 0; kk < k; kk++ {
+			bb0, bb1 := bCol0[kk], bCol1[kk]
+			a0, a1 := aRow0[kk], aRow1[kk]
+			pb0 := uint32(int32(int8(uint8(a0))) * int32(int8(uint8(bb0))))
+			pb1 := uint32(int32(int8(uint8(a1))) * int32(int8(uint8(bb1))))
+			prodTog0 += int64(bitops.Toggle32(prevProd0, pb0))
+			prodTog1 += int64(bitops.Toggle32(prevProd1, pb1))
+			prevProd0, prevProd1 = pb0, pb1
+			acc0 += int32(pb0)
+			acc1 += int32(pb1)
+			ab0 := uint32(acc0)
+			ab1 := uint32(acc1)
+			accTog0 += int64(bitops.Toggle32(prevAcc0, ab0))
+			accTog1 += int64(bitops.Toggle32(prevAcc1, ab1))
+			prevAcc0, prevAcc1 = ab0, ab1
+			alignPC0 += int64(bitops.Popcount32((a0 ^ bb0) & amask))
+			alignPC1 += int64(bitops.Popcount32((a1 ^ bb1) & amask))
+		}
+	default:
+		panic("activity: unknown dtype")
+	}
+	return laneResult{prodTog: prodTog0, accTog: accTog0, alignSum: laneAlign(k, width, alignPC0)},
+		laneResult{prodTog: prodTog1, accTog: accTog1, alignSum: laneAlign(k, width, alignPC1)}
 }

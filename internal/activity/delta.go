@@ -1,0 +1,123 @@
+package activity
+
+import (
+	"slices"
+
+	"repro/internal/bitops"
+	"repro/internal/matrix"
+	"repro/internal/softfloat"
+)
+
+// Incremental operand statistics. A transform applied to a cached base
+// matrix (bit flips, sparsification) touches an enumerable set of
+// positions; everything an OperandStats holds is a sum over elements or
+// adjacent pairs, so the transformed operand's stats follow from the
+// base's stats plus a correction for the touched neighborhoods —
+// O(touched) instead of a full O(rows·cols) rescan. The full-rescan
+// path (ScanA/ScanB) is retained and remains the reference the delta
+// path is property-tested against.
+
+// deltaDenseFrac: beyond this fraction of touched elements the rescan
+// is cheaper than sorting and patching, so Delta returns nil and the
+// caller falls back to ScanA/ScanB. Shared with the tracked transforms
+// (matrix.SparsifyTouched, matrix.RandomBitFlipsTouched), which use it
+// to skip enumerating a touched set the scans would decline anyway.
+const deltaDenseFrac = matrix.DeltaDenseFrac // touched > len(bits)/deltaDenseFrac ⇒ rescan
+
+// sigWeight returns the per-element significand-weight function the
+// scans use for this dtype.
+func sigWeight(dt matrix.DType) func(uint32) int64 {
+	if tab := sigTab16(dt); tab != nil {
+		return func(b uint32) int64 { return int64(tab[b&0xFFFF]) }
+	}
+	return func(b uint32) int64 { return int64(softfloat.SigPop32(b)) }
+}
+
+// prepTouched sorts and dedups a copy of the touched index list.
+func prepTouched(touched []int32) []int32 {
+	idx := append([]int32(nil), touched...)
+	slices.Sort(idx)
+	return slices.Compact(idx)
+}
+
+// DeltaRowScan returns new stats for cur given st = ScanA(base), where
+// cur differs from base only at the touched positions (row-major
+// element indices; duplicates allowed). Returns nil when the touched
+// set is dense enough that a full rescan is cheaper — the caller must
+// then fall back to ScanA(cur). Results are integer-exact: identical
+// to ScanA(cur) on every field.
+func (st *OperandStats) DeltaRowScan(base, cur *matrix.Matrix, touched []int32) *OperandStats {
+	if st == nil || deltaDenseFrac*len(touched) > len(base.Bits) {
+		return nil
+	}
+	ns := st.clone()
+	idx := prepTouched(touched)
+	sig := sigWeight(base.DType)
+	hmask := bitops.LowMask(base.DType.Width())
+	cols := int32(base.Cols)
+	for pi, t := range idx {
+		ob, nb := base.Bits[t], cur.Bits[t]
+		c := t % cols
+		ns.Hamming += int64(bitops.Popcount32(nb&hmask)) - int64(bitops.Popcount32(ob&hmask))
+		if (nb != 0) != (ob != 0) {
+			if nb != 0 {
+				ns.NonZero++
+			} else {
+				ns.NonZero--
+			}
+		}
+		ns.Sig[c] += sig(nb) - sig(ob)
+		// Row-adjacent toggle pairs. Each affected pair is corrected
+		// exactly once: the left pair (t-1, t) is skipped when t-1 is
+		// itself touched, because t-1 already corrected it as its
+		// right pair using the same old/new values.
+		if c > 0 && !(pi > 0 && idx[pi-1] == t-1) {
+			ns.Toggles += int64(bitops.Toggle32(cur.Bits[t-1], nb)) - int64(bitops.Toggle32(base.Bits[t-1], ob))
+		}
+		if c+1 < cols {
+			ns.Toggles += int64(bitops.Toggle32(nb, cur.Bits[t+1])) - int64(bitops.Toggle32(ob, base.Bits[t+1]))
+		}
+	}
+	return ns
+}
+
+// DeltaColScan is DeltaRowScan for column-stream stats: st = ScanB(base),
+// returns stats identical to ScanB(cur) on every field, or nil for the
+// dense fallback.
+func (st *OperandStats) DeltaColScan(base, cur *matrix.Matrix, touched []int32) *OperandStats {
+	if st == nil || deltaDenseFrac*len(touched) > len(base.Bits) {
+		return nil
+	}
+	ns := st.clone()
+	idx := prepTouched(touched)
+	sig := sigWeight(base.DType)
+	hmask := bitops.LowMask(base.DType.Width())
+	cols := int32(base.Cols)
+	size := int32(len(base.Bits))
+	for _, t := range idx {
+		ob, nb := base.Bits[t], cur.Bits[t]
+		ns.Hamming += int64(bitops.Popcount32(nb&hmask)) - int64(bitops.Popcount32(ob&hmask))
+		if (nb != 0) != (ob != 0) {
+			if nb != 0 {
+				ns.NonZero++
+			} else {
+				ns.NonZero--
+			}
+		}
+		ns.Sig[t/cols] += sig(nb) - sig(ob)
+		// Column-adjacent toggle pairs, same each-pair-once rule: the
+		// up pair (t-cols, t) is skipped when t-cols is touched (it
+		// corrected the pair as its down pair).
+		if t >= cols {
+			up := t - cols
+			if _, found := slices.BinarySearch(idx, up); !found {
+				ns.Toggles += int64(bitops.Toggle32(cur.Bits[up], nb)) - int64(bitops.Toggle32(base.Bits[up], ob))
+			}
+		}
+		if t+cols < size {
+			dn := t + cols
+			ns.Toggles += int64(bitops.Toggle32(nb, cur.Bits[dn])) - int64(bitops.Toggle32(ob, base.Bits[dn]))
+		}
+	}
+	return ns
+}

@@ -1,0 +1,247 @@
+package activity
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/bitops"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/softfloat"
+)
+
+// Fused generation scans: encoding a raw draw stream into a matrix
+// touches every element exactly once, so the row-stream operand scan
+// can ride along while each encoded value is still in a register —
+// one memory pass instead of encode-then-rescan. The encode arms must
+// stay expression-identical to matrix.EncodeGaussianStream /
+// matrix.EncodeValues, and the statistics arithmetic identical to
+// ScanA (the significand weights are computed arithmetically here;
+// the scan tables are built from the same functions and verified
+// exhaustively equal in softfloat's tests). Both equivalences are also
+// covered end-to-end by the incremental-equivalence property tests.
+//
+// The loops accumulate into locals (not struct fields, which Go would
+// re-store per iteration) and re-slice row/sig to the raw chunk length
+// so the per-element bounds checks vanish.
+
+// EncodeScanGaussian is matrix.EncodeGaussianStream fused with ScanA:
+// it writes mean + std·raw[i] into m with the datatype's
+// round-to-nearest encode and returns the encoded matrix's row-stream
+// OperandStats. Bits and stats are bit-identical to the unfused pair.
+func EncodeScanGaussian(m *matrix.Matrix, raw []float64, mean, std float64) *OperandStats {
+	raw = raw[:len(m.Bits)]
+	st := &OperandStats{Sig: make([]int64, m.Cols)}
+	cols := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		encodeScanGaussianRow(m, i, raw[i*cols:i*cols+cols], mean, std, st)
+	}
+	return st
+}
+
+// GaussianTarget is one encoding class's destination in a fused
+// multi-class generation: the matrix to fill, its affine value map,
+// and the row-stream stats extracted alongside.
+type GaussianTarget struct {
+	M         *matrix.Matrix
+	Mean, Std float64
+	Stats     *OperandStats
+}
+
+// GenerateGaussianFused draws one Gaussian variate stream row by row
+// and encodes every target from the still-cache-hot row buffer,
+// extracting each target's row-stream OperandStats in the same pass.
+// The draw order (row-major, one NormFloat64 per element) and the
+// per-target encode are bit-identical to GaussianStream followed by
+// per-target EncodeGaussianStream; the stats equal ScanA of the
+// encoded matrices. All targets must share the matrix shape.
+func GenerateGaussianFused(src *rng.Source, targets []GaussianTarget) {
+	if len(targets) == 0 {
+		return
+	}
+	rows, cols := targets[0].M.Rows, targets[0].M.Cols
+	for ti := range targets {
+		t := &targets[ti]
+		if t.M.Rows != rows || t.M.Cols != cols {
+			panic("activity: GenerateGaussianFused targets differ in shape")
+		}
+		if t.Stats == nil {
+			t.Stats = &OperandStats{Sig: make([]int64, cols)}
+		} else if t.Stats.Sig == nil {
+			t.Stats.Sig = make([]int64, cols)
+		}
+	}
+	buf := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		for j := range buf {
+			buf[j] = src.NormFloat64()
+		}
+		for ti := range targets {
+			t := &targets[ti]
+			encodeScanGaussianRow(t.M, i, buf, t.Mean, t.Std, t.Stats)
+		}
+	}
+}
+
+// encodeScanGaussianRow encodes one row's raw chunk into m's row i and
+// folds the row's statistics into st. The encode expressions match
+// matrix.EncodeGaussianStream arm for arm; the statistics arithmetic
+// matches ScanA (toggles reset per row, per-column significand sums).
+func encodeScanGaussianRow(m *matrix.Matrix, i int, raw []float64, mean, std float64, st *OperandStats) {
+	var hamming, nonZero, toggles int64
+	switch m.DType {
+	case matrix.FP32:
+		row := m.Row(i)
+		rr := raw[:len(row)]
+		sg := st.Sig[:len(row)]
+		var prev uint32
+		for kk, r := range rr {
+			b := math.Float32bits(float32(mean + std*r))
+			row[kk] = b
+			sg[kk] += int64(bits.OnesCount32(softfloat.Significand32(b)))
+			hamming += int64(bits.OnesCount32(b))
+			if b != 0 {
+				nonZero++
+			}
+			if kk > 0 {
+				toggles += int64(bits.OnesCount32(prev ^ b))
+			}
+			prev = b
+		}
+	case matrix.FP16, matrix.FP16T:
+		row := m.Row(i)
+		rr := raw[:len(row)]
+		sg := st.Sig[:len(row)]
+		var prev uint32
+		for kk, r := range rr {
+			// F32ToF16's normal-range path, hand-inlined (the full
+			// conversion exceeds the inlining budget); range tails
+			// fall back to the function, which re-selects the path.
+			f := float32(mean + std*r)
+			fb := math.Float32bits(f)
+			ab := fb &^ 0x8000_0000
+			var b uint32
+			if ab-softfloat.F16SubnormF32 < softfloat.F16MaxF32-softfloat.F16SubnormF32 {
+				mantOdd := (ab >> 13) & 1
+				ab -= uint32(112) << 23
+				ab += 0xFFF + mantOdd
+				b = uint32(uint16(fb>>16)&softfloat.F16SignMask | uint16(ab>>13))
+			} else {
+				b = uint32(softfloat.F32ToF16(f))
+			}
+			row[kk] = b
+			sg[kk] += int64(bits.OnesCount32(softfloat.Significand16(uint16(b))))
+			hamming += int64(bits.OnesCount32(b))
+			if b != 0 {
+				nonZero++
+			}
+			if kk > 0 {
+				toggles += int64(bits.OnesCount32(prev ^ b))
+			}
+			prev = b
+		}
+	case matrix.BF16T:
+		row := m.Row(i)
+		rr := raw[:len(row)]
+		sg := st.Sig[:len(row)]
+		var prev uint32
+		for kk, r := range rr {
+			b := uint32(softfloat.F32ToBF16(float32(mean + std*r)))
+			row[kk] = b
+			sg[kk] += int64(bits.OnesCount32(softfloat.SignificandBF16(uint16(b))))
+			hamming += int64(bits.OnesCount32(b))
+			if b != 0 {
+				nonZero++
+			}
+			if kk > 0 {
+				toggles += int64(bits.OnesCount32(prev ^ b))
+			}
+			prev = b
+		}
+	case matrix.INT8:
+		row := m.Row(i)
+		rr := raw[:len(row)]
+		sg := st.Sig[:len(row)]
+		var prev uint32
+		for kk, r := range rr {
+			b := uint32(uint8(softfloat.F32ToI8(float32(mean + std*r))))
+			row[kk] = b
+			// 256-byte magnitude table: branch-free, always L1-hot
+			// (the arithmetic |v| has a data-dependent sign branch).
+			sg[kk] += int64(softfloat.MagPopI8(uint8(b)))
+			hamming += int64(bits.OnesCount32(b))
+			if b != 0 {
+				nonZero++
+			}
+			if kk > 0 {
+				toggles += int64(bits.OnesCount32(prev ^ b))
+			}
+			prev = b
+		}
+	default:
+		// Reference pair for datatypes without a fused arm.
+		cols := m.Cols
+		sub := &matrix.Matrix{DType: m.DType, Rows: 1, Cols: cols, Bits: m.Bits[i*cols : i*cols+cols]}
+		matrix.EncodeGaussianStream(sub, raw, mean, std)
+		rs := ScanA(sub)
+		for kk := range rs.Sig {
+			st.Sig[kk] += rs.Sig[kk]
+		}
+		hamming, nonZero, toggles = rs.Hamming, rs.NonZero, rs.Toggles
+	}
+	st.Hamming += hamming
+	st.NonZero += nonZero
+	st.Toggles += toggles
+}
+
+// EncodeScanValues is matrix.EncodeValues fused with ScanA: it writes
+// the raw values into m with the datatype's encode and returns the
+// encoded matrix's row-stream OperandStats.
+func EncodeScanValues(m *matrix.Matrix, raw []float64) *OperandStats {
+	raw = raw[:len(m.Bits)]
+	st := &OperandStats{Sig: make([]int64, m.Cols)}
+	tab := sigTab16(m.DType)
+	hmask := bitops.LowMask(m.DType.Width())
+	cols := m.Cols
+	var hamming, nonZero, toggles int64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		rr := raw[i*cols : i*cols+cols]
+		rr = rr[:len(row)]
+		sg := st.Sig[:len(row)]
+		var prev uint32
+		if tab != nil {
+			for kk, r := range rr {
+				b := m.DType.Encode(r)
+				row[kk] = b
+				sg[kk] += int64(tab[b&0xFFFF])
+				hamming += int64(bits.OnesCount32(b & hmask))
+				if b != 0 {
+					nonZero++
+				}
+				if kk > 0 {
+					toggles += int64(bits.OnesCount32(prev ^ b))
+				}
+				prev = b
+			}
+		} else {
+			for kk, r := range rr {
+				b := m.DType.Encode(r)
+				row[kk] = b
+				sg[kk] += int64(softfloat.SigPop32(b))
+				hamming += int64(bits.OnesCount32(b & hmask))
+				if b != 0 {
+					nonZero++
+				}
+				if kk > 0 {
+					toggles += int64(bits.OnesCount32(prev ^ b))
+				}
+				prev = b
+			}
+		}
+	}
+	st.Hamming = hamming
+	st.NonZero = nonZero
+	st.Toggles = toggles
+	return st
+}

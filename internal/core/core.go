@@ -100,11 +100,12 @@ func (s *Simulator) Device() *device.Device { return s.dev }
 // the generated matrix; it is transposed before use if opts.TransposeB
 // is set.
 func (s *Simulator) MeasureGEMM(a, b *matrix.Matrix, opts Options) (*Measurement, error) {
-	bop := b
+	prob := kernels.NewProblem(a.DType, a, b)
 	if opts.TransposeB {
-		bop = b.Transpose()
+		// Transposed storage: the problem consumes b's transpose without
+		// materializing it (bit-identical results, no copy).
+		prob = kernels.NewTransposedProblem(a.DType, a, b)
 	}
-	prob := kernels.NewProblem(a.DType, a, bop)
 	if opts.Tile != (kernels.TileConfig{}) {
 		prob.Tile = opts.Tile
 	}

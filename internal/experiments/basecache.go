@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync"
 
+	"repro/internal/activity"
 	"repro/internal/matrix"
 	"repro/internal/patterns"
 	"repro/internal/rng"
@@ -17,6 +18,19 @@ import (
 // matches the paper's methodology more closely: §IV applies its sort /
 // sparsify / bit transforms to the same underlying matrices, not to
 // fresh draws per sweep coordinate.
+//
+// Two further layers ride on the same refcounts:
+//
+//   - Raw draw streams. Patterns that split generation into a
+//     datatype-independent draw plus a per-datatype encode
+//     (Pattern.DrawStream/EncodeStream) share one draw per (side,
+//     seed, base name) across every encoding class — the classes'
+//     matrices are different roundings of the same variates.
+//   - Operand statistics. Each base entry lazily memoizes its
+//     activity.OperandStats per stream orientation, so transform
+//     variants patch the base's stats incrementally (or reuse them
+//     outright when there is no transform) instead of rescanning the
+//     operand per job.
 
 // encClass maps a datatype to its encoding class: datatypes that store
 // identical bit patterns for identical value streams share one cache
@@ -41,25 +55,93 @@ type baseEntry struct {
 	once      sync.Once
 	m         *matrix.Matrix
 	remaining int // uses left before the entry is dropped
+
+	// Lazily memoized operand statistics of the base bits. Valid for
+	// every datatype of the encoding class (identical bits, identical
+	// significand tables). rowStats is the row-stream profile (ScanA:
+	// operand A, or operand B carried as transposed storage); colStats
+	// is the column-stream profile (ScanB: operand B in normal
+	// storage).
+	rowOnce  sync.Once
+	rowStats *activity.OperandStats
+	colOnce  sync.Once
+	colStats *activity.OperandStats
+}
+
+func (e *baseEntry) row() *activity.OperandStats {
+	e.rowOnce.Do(func() { e.rowStats = activity.ScanA(e.m) })
+	return e.rowStats
+}
+
+func (e *baseEntry) col() *activity.OperandStats {
+	e.colOnce.Do(func() { e.colStats = activity.ScanB(e.m) })
+	return e.colStats
+}
+
+// stats returns the base's operand statistics in the requested stream
+// orientation.
+func (e *baseEntry) stats(colOrient bool) *activity.OperandStats {
+	if colOrient {
+		return e.col()
+	}
+	return e.row()
+}
+
+// streamKey identifies one cached raw draw stream. No encoding class:
+// the stream is datatype-independent by construction.
+type streamKey struct {
+	side string
+	seed int
+	name string
+}
+
+type streamEntry struct {
+	once      sync.Once
+	raw       []float64
+	remaining int
+}
+
+// groupEntry is one fused multi-class generation: all encoding classes
+// of a (side, seed, base name) generated in a single row-chunked pass
+// (activity.GenerateGaussianFused), with each class's row-stream stats
+// extracted alongside. Compared to caching the raw draw stream it
+// avoids materializing and re-reading the 8-byte-per-element variate
+// buffer once per class — the draw row stays in L1 while every class
+// encodes from it.
+type groupEntry struct {
+	once      sync.Once
+	ms        map[matrix.DType]*matrix.Matrix
+	sts       map[matrix.DType]*activity.OperandStats
+	remaining int
 }
 
 // baseCache is a per-Run refcounted cache. Entries are evicted as soon
 // as every point that shares them has consumed its use, which bounds
-// resident base matrices to the configurations currently in flight.
+// resident base matrices (and raw streams) to the configurations
+// currently in flight.
 type baseCache struct {
 	mu      sync.Mutex
 	entries map[baseKey]*baseEntry
+	streams map[streamKey]*streamEntry
+	groups  map[streamKey]*groupEntry
 }
 
 func newBaseCache() *baseCache {
-	return &baseCache{entries: map[baseKey]*baseEntry{}}
+	return &baseCache{
+		entries: map[baseKey]*baseEntry{},
+		streams: map[streamKey]*streamEntry{},
+		groups:  map[streamKey]*groupEntry{},
+	}
 }
 
-// get returns the base matrix for key, generating it on first use via
-// gen. uses is the total number of times the key will be requested
-// during the Run; after the last use the entry is released. The
-// returned matrix is shared — callers must treat it as read-only.
-func (c *baseCache) get(key baseKey, uses int, gen func() *matrix.Matrix) *matrix.Matrix {
+// get returns the cache entry for key, generating its matrix on first
+// use via gen. uses is the total number of times the key will be
+// requested during the Run; after the last use the entry leaves the
+// map (the returned entry stays valid for the caller). The entry's
+// matrix is shared — callers must treat it as read-only. gen receives
+// the entry so fused generation paths can seed its memoized stats
+// (under the entry's own rowOnce/colOnce).
+func (c *baseCache) get(key baseKey, uses int, gen func(e *baseEntry) *matrix.Matrix) *baseEntry {
 	c.mu.Lock()
 	e := c.entries[key]
 	if e == nil {
@@ -67,15 +149,58 @@ func (c *baseCache) get(key baseKey, uses int, gen func() *matrix.Matrix) *matri
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.m = gen() })
-	m := e.m
+	e.once.Do(func() { e.m = gen(e) })
 	c.mu.Lock()
 	e.remaining--
 	if e.remaining <= 0 {
 		delete(c.entries, key)
 	}
 	c.mu.Unlock()
-	return m
+	return e
+}
+
+// stream returns the raw draw stream for key, drawing it on first use
+// via draw. uses is the number of encoding classes that will request
+// it. The returned slice is shared and read-only.
+func (c *baseCache) stream(key streamKey, uses int, draw func() []float64) []float64 {
+	c.mu.Lock()
+	e := c.streams[key]
+	if e == nil {
+		e = &streamEntry{remaining: uses}
+		c.streams[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.raw = draw() })
+	raw := e.raw
+	c.mu.Lock()
+	e.remaining--
+	if e.remaining <= 0 {
+		delete(c.streams, key)
+	}
+	c.mu.Unlock()
+	return raw
+}
+
+// group returns the fused multi-class generation for key, running gen
+// on first use. uses is the number of encoding classes that will
+// request it; the returned entry's maps stay valid for the caller
+// after eviction and are shared read-only.
+func (c *baseCache) group(key streamKey, uses int, gen func(g *groupEntry)) *groupEntry {
+	c.mu.Lock()
+	g := c.groups[key]
+	if g == nil {
+		g = &groupEntry{remaining: uses}
+		c.groups[key] = g
+	}
+	c.mu.Unlock()
+	g.once.Do(func() { gen(g) })
+	c.mu.Lock()
+	g.remaining--
+	if g.remaining <= 0 {
+		delete(c.groups, key)
+	}
+	c.mu.Unlock()
+	return g
 }
 
 // baseUses counts, for one datatype, how many points of the experiment
@@ -88,23 +213,89 @@ func baseUses(exp Experiment, dt matrix.DType) map[string]int {
 	return uses
 }
 
-// materialize produces one operand matrix for a job: the cached base
-// (generated from a side-and-base-specific stream) cloned and carried
-// through the pattern's transform chain. Patterns constructed without
-// split metadata fall back to a monolithic fill.
-func materialize(cache *baseCache, uses map[string]int, pat patterns.Pattern,
-	dt matrix.DType, side string, seed int, streamSeed uint64, size int) *matrix.Matrix {
+// materialize produces one operand matrix for a job together with its
+// operand statistics in the requested stream orientation (colOrient
+// false: row stream, the profile of operand A or of a transposed-
+// storage operand B; true: column stream). The statistics are nil when
+// they could not be derived cheaply — monolithic patterns, untrackable
+// transform chains, or dense touch sets — and the caller falls back to
+// activity's full rescan.
+//
+// The matrix is the cached base (generated from a side-and-base-
+// specific stream, shared read-only) when the pattern has no transform
+// stage; otherwise a clone carried through the transform chain, whose
+// statistics are patched incrementally from the base's when the chain
+// enumerates its touched positions.
+func materialize(cache *baseCache, uses map[string]int, streamUses map[string]int,
+	streamClasses map[string][]matrix.DType,
+	pat patterns.Pattern, dt matrix.DType, side string, seed int, streamSeed uint64,
+	size int, colOrient bool) (*matrix.Matrix, *activity.OperandStats) {
 	if pat.BaseFill == nil {
 		m := matrix.New(dt, size, size)
 		pat.Apply(m, rng.Derive(streamSeed, side))
-		return m
+		return m, nil
 	}
-	base := cache.get(baseKey{class: encClass(dt), side: side, seed: seed, name: pat.BaseName},
-		uses[pat.BaseName], func() *matrix.Matrix {
+	e := cache.get(baseKey{class: encClass(dt), side: side, seed: seed, name: pat.BaseName},
+		uses[pat.BaseName], func(e *baseEntry) *matrix.Matrix {
+			src := rng.Derive(streamSeed, side+"/"+pat.BaseName)
+			if pat.DrawStream != nil && pat.EncodeStream != nil {
+				// Affine encodes (the Gaussian patterns) generate every
+				// encoding class of this (side, seed, base) in one fused
+				// row-chunked pass: the draw row stays cache-hot while
+				// each class encodes it and extracts its row-stream
+				// stats — no raw-stream buffer, one memory pass total.
+				if classes := streamClasses[pat.BaseName]; pat.EncodeAffine != nil && len(classes) > 0 {
+					g := cache.group(streamKey{side: side, seed: seed, name: pat.BaseName},
+						streamUses[pat.BaseName], func(g *groupEntry) {
+							targets := make([]activity.GaussianTarget, len(classes))
+							for i, cl := range classes {
+								mean, std := pat.EncodeAffine(cl)
+								targets[i] = activity.GaussianTarget{
+									M: matrix.New(cl, size, size), Mean: mean, Std: std,
+								}
+							}
+							activity.GenerateGaussianFused(src, targets)
+							g.ms = make(map[matrix.DType]*matrix.Matrix, len(targets))
+							g.sts = make(map[matrix.DType]*activity.OperandStats, len(targets))
+							for i, cl := range classes {
+								g.ms[cl] = targets[i].M
+								g.sts[cl] = targets[i].Stats
+							}
+						})
+					cl := encClass(dt)
+					e.rowOnce.Do(func() { e.rowStats = g.sts[cl] })
+					return g.ms[cl]
+				}
+				m := matrix.New(dt, size, size)
+				raw := cache.stream(streamKey{side: side, seed: seed, name: pat.BaseName},
+					streamUses[pat.BaseName], func() []float64 {
+						return pat.DrawStream(src, size*size)
+					})
+				// When the base's row-stream stats will plausibly be
+				// consumed (no transform, or an incrementally tracked
+				// one), fuse their extraction into the encode pass —
+				// same bits, same stats, one memory pass.
+				fuse := pat.Transform == nil || pat.DeltaTransform != nil
+				switch {
+				case fuse && pat.EncodeAffine != nil:
+					mean, std := pat.EncodeAffine(m.DType)
+					e.rowOnce.Do(func() {
+						e.rowStats = activity.EncodeScanGaussian(m, raw, mean, std)
+					})
+				case fuse && pat.EncodeVerbatim:
+					e.rowOnce.Do(func() {
+						e.rowStats = activity.EncodeScanValues(m, raw)
+					})
+				default:
+					pat.EncodeStream(m, raw)
+				}
+				return m
+			}
 			m := matrix.New(dt, size, size)
-			pat.BaseFill(m, rng.Derive(streamSeed, side+"/"+pat.BaseName))
+			pat.BaseFill(m, src)
 			return m
 		})
+	base := e.m
 	if base.DType != dt {
 		// Same encoding class, different datatype tag (FP16 vs FP16-T):
 		// share the bit patterns read-only under the requested tag.
@@ -112,10 +303,22 @@ func materialize(cache *baseCache, uses map[string]int, pat patterns.Pattern,
 	}
 	if pat.Transform == nil {
 		// No transform stage: the shared base is used as-is (read-only
-		// downstream).
-		return base
+		// downstream), and its memoized stats apply directly.
+		return base, e.stats(colOrient)
 	}
 	m := base.Clone()
-	pat.Transform(m, rng.Derive(streamSeed, side+"/x/"+pat.Name))
-	return m
+	src := rng.Derive(streamSeed, side+"/x/"+pat.Name)
+	if pat.DeltaTransform == nil {
+		pat.Transform(m, src)
+		return m, nil
+	}
+	touched, ok := pat.DeltaTransform(m, src)
+	if !ok {
+		return m, nil
+	}
+	st := e.stats(colOrient)
+	if colOrient {
+		return m, st.DeltaColScan(base, m, touched)
+	}
+	return m, st.DeltaRowScan(base, m, touched)
 }

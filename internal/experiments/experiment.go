@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/activity"
@@ -175,30 +176,37 @@ func iterationsFor(dt matrix.DType) int {
 // per-Run cache: the generation streams depend on (experiment, seed,
 // side) but not on the point, so every point's transform variant
 // derives from the same underlying generation; A and B always differ
-// (§III).
+// (§III). When the point consumes Bᵀ (the paper's default), the
+// generated matrix is handed to the kernel as transposed storage
+// instead of materializing the transpose — bit-identical results,
+// no transpose pass, and the operand's column-stream statistics are
+// the base's row-stream statistics.
 func runOne(cfg Config, exp Experiment, pt Point, dt matrix.DType, seed int,
-	cache *baseCache, uses map[string]int) (runOutcome, error) {
+	cache *baseCache, uses map[string]int, streamUses map[string]int,
+	streamClasses map[string][]matrix.DType) (runOutcome, error) {
 	pat := pt.Pattern(dt)
 	base := rng.Derive(uint64(seed)+1, exp.ID)
 	seedA := base.Uint64()
 	seedB := base.Uint64()
 
-	a := materialize(cache, uses, pat, dt, "A", seed, seedA, cfg.Size)
-	bgen := materialize(cache, uses, pat, dt, "B", seed, seedB, cfg.Size)
-	b := bgen
-	if pt.transposeB() {
-		b = bgen.Transpose()
-	}
+	transposeB := pt.transposeB()
+	a, aStats := materialize(cache, uses, streamUses, streamClasses, pat, dt, "A", seed, seedA, cfg.Size, false)
+	g, bStats := materialize(cache, uses, streamUses, streamClasses, pat, dt, "B", seed, seedB, cfg.Size, !transposeB)
 
-	prob := kernels.NewProblem(dt, a, b)
+	var prob *kernels.Problem
+	if transposeB {
+		prob = kernels.NewTransposedProblem(dt, a, g)
+	} else {
+		prob = kernels.NewProblem(dt, a, g)
+	}
 	if cfg.Tile != (kernels.TileConfig{}) {
 		prob.Tile = cfg.Tile
 	}
-	rep, err := activity.Analyze(prob, activity.Config{
+	rep, err := activity.AnalyzeWithStats(prob, activity.Config{
 		SampleOutputs: cfg.SampleOutputs,
 		// Fixed sampling seed: configurations differ only in inputs.
 		Seed: 0xAC71,
-	})
+	}, aStats, bStats)
 	if err != nil {
 		return runOutcome{}, err
 	}
@@ -276,6 +284,22 @@ func Run(exp Experiment, cfg Config) (*FigureResult, error) {
 	for di, dt := range cfg.DTypes {
 		uses[di] = usesByClass[encClass(dt)]
 	}
+	// Raw draw streams are shared across encoding classes: each class
+	// that generates a given base name consumes the stream once. The
+	// class list per base name drives the fused multi-class generation
+	// (one pass draws and encodes every class); classes are ordered for
+	// a deterministic generation layout.
+	streamUses := map[string]int{}
+	streamClasses := map[string][]matrix.DType{}
+	for cl, classUses := range usesByClass {
+		for name := range classUses {
+			streamUses[name]++
+			streamClasses[name] = append(streamClasses[name], cl)
+		}
+	}
+	for _, classes := range streamClasses {
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	}
 
 	results := make([]result, len(jobs))
 	var wg sync.WaitGroup
@@ -290,7 +314,7 @@ func Run(exp Experiment, cfg Config) (*FigureResult, error) {
 			defer wg.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
-				out, err := runOne(cfg, exp, exp.Points[j.pi], cfg.DTypes[j.di], j.seed, cache, uses[j.di])
+				out, err := runOne(cfg, exp, exp.Points[j.pi], cfg.DTypes[j.di], j.seed, cache, uses[j.di], streamUses, streamClasses)
 				results[idx] = result{job: j, out: out, err: err}
 			}
 		}()

@@ -146,7 +146,7 @@ func trainingRun(dev *device.Device, dt matrix.DType, cfg TrainingConfig, size i
 	b := matrix.New(dt, size, size)
 	pat.Apply(b, rng.Derive(base.Uint64(), "B"))
 
-	prob := kernels.NewProblem(dt, a, b.Transpose())
+	prob := kernels.NewTransposedProblem(dt, a, b)
 	rep, err := activity.Analyze(prob, activity.Config{
 		SampleOutputs: cfg.SampleOutputs,
 		Seed:          0xAC71,

@@ -16,9 +16,40 @@ package kernels
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/matrix"
 )
+
+// Inner-loop variant names reported by ActiveKernelVariant.
+const (
+	// VariantPortable is the pure-Go 4-wide lane kernel built on
+	// every architecture (and forced by the portable_kernels build
+	// tag or REPRO_PORTABLE_KERNELS=1).
+	VariantPortable = "portable"
+	// VariantWide is the amd64 4×2 register-tile micro-kernel.
+	VariantWide = "wide"
+)
+
+var activeVariant = probeKernelVariant()
+
+// probeKernelVariant selects the widest lane kernel this build and
+// architecture support. The wide variant only exists when the
+// arch-gated file is compiled in (amd64 without the portable_kernels
+// tag); REPRO_PORTABLE_KERNELS=1 forces the portable fallback at
+// runtime regardless. Every variant computes bit-identical results —
+// the probe only picks how the register tiling is shaped.
+func probeKernelVariant() string {
+	if !wideKernelsAvailable || os.Getenv("REPRO_PORTABLE_KERNELS") == "1" {
+		return VariantPortable
+	}
+	installWideKernels()
+	return VariantWide
+}
+
+// ActiveKernelVariant reports which inner-loop implementation Run
+// dispatches to.
+func ActiveKernelVariant() string { return activeVariant }
 
 // TileConfig is a CUTLASS-style threadblock tile shape.
 type TileConfig struct {
@@ -124,6 +155,14 @@ type Problem struct {
 	Alpha float64
 	Beta  float64
 	Tile  TileConfig
+
+	// BTransposed marks that B stores the (K,M) operand as its
+	// transpose: an (M,K) row-major matrix whose row j is operand
+	// column j. The paper's default consumes Bᵀ of a generated
+	// matrix, so callers can hand over the generated matrix directly
+	// and skip materializing the transpose — column-panel packing
+	// becomes a contiguous row copy and results are bit-identical.
+	BTransposed bool
 }
 
 // NewProblem builds a Problem with the paper's defaults (α=1, β=1,
@@ -139,9 +178,38 @@ func NewProblem(dt matrix.DType, a, b *matrix.Matrix) *Problem {
 	}
 }
 
+// NewTransposedProblem builds a Problem whose B operand is g's
+// transpose without materializing it: the kernel consumes g's rows as
+// operand columns. Equivalent to NewProblem(dt, a, g.Transpose())
+// bit-for-bit.
+func NewTransposedProblem(dt matrix.DType, a, g *matrix.Matrix) *Problem {
+	p := NewProblem(dt, a, g)
+	p.BTransposed = true
+	return p
+}
+
+// BDims returns the logical (K, M) shape of the B operand, accounting
+// for transposed storage.
+func (p *Problem) BDims() (rows, cols int) {
+	if p.BTransposed {
+		return p.B.Cols, p.B.Rows
+	}
+	return p.B.Rows, p.B.Cols
+}
+
+// BAt returns the logical B operand element at (kk, j), accounting for
+// transposed storage.
+func (p *Problem) BAt(kk, j int) uint32 {
+	if p.BTransposed {
+		return p.B.At(j, kk)
+	}
+	return p.B.At(kk, j)
+}
+
 // Dims returns (N, K, M).
 func (p *Problem) Dims() (n, k, m int) {
-	return p.A.Rows, p.A.Cols, p.B.Cols
+	_, m = p.BDims()
+	return p.A.Rows, p.A.Cols, m
 }
 
 // MACs returns the number of multiply-accumulate operations one
@@ -160,14 +228,15 @@ func (p *Problem) Validate() error {
 		return fmt.Errorf("kernels: operand dtype mismatch (problem %v, A %v, B %v)",
 			p.DType, p.A.DType, p.B.DType)
 	}
-	if p.A.Cols != p.B.Rows {
+	bRows, bCols := p.BDims()
+	if p.A.Cols != bRows {
 		return fmt.Errorf("kernels: inner dimensions disagree: A is %dx%d, B is %dx%d",
-			p.A.Rows, p.A.Cols, p.B.Rows, p.B.Cols)
+			p.A.Rows, p.A.Cols, bRows, bCols)
 	}
 	if p.C != nil {
-		if p.C.Rows != p.A.Rows || p.C.Cols != p.B.Cols {
+		if p.C.Rows != p.A.Rows || p.C.Cols != bCols {
 			return fmt.Errorf("kernels: C shape %dx%d does not match output %dx%d",
-				p.C.Rows, p.C.Cols, p.A.Rows, p.B.Cols)
+				p.C.Rows, p.C.Cols, p.A.Rows, bCols)
 		}
 	}
 	return p.Tile.Validate()

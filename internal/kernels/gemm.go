@@ -115,20 +115,22 @@ func dotI32(a, b []int32) int32 {
 
 // runF32Acc executes the datatypes whose multiply is exact in float32
 // and whose accumulator is a float32 register (FP32, FP16-T, BF16-T):
-// a dense dot product over the packed panels with a per-dtype store.
+// lane-blocked dot products over the packed panels with a per-dtype
+// store. The inner loops come from the capability probe — the portable
+// 4-wide lane kernel everywhere, the 4×2 register tile on amd64.
 func runF32Acc(p *Problem, out *Output, epi func(p *Problem, i, j int, acc float32) float64) {
 	n, k, m := p.Dims()
 	dec := f32Decoder(p.DType)
 	aPan := packRowsF32(p.A, dec)
-	bPan := packColsF32(p.B, dec)
+	bPan := packOpColsF32(p, dec)
+	impl := gemmF32Portable
+	if activeVariant == VariantWide && gemmF32Wide != nil {
+		impl = gemmF32Wide
+	}
 	parallelRowBlocks(n, rowBlock, func(lo, hi int) {
-		for j := 0; j < m; j++ {
-			col := bPan[j*k : j*k+k]
-			for i := lo; i < hi; i++ {
-				acc := dotF32(aPan[i*k:i*k+k], col)
-				out.Vals[i*m+j] = epi(p, i, j, acc)
-			}
-		}
+		impl(aPan, bPan, k, m, lo, hi, func(i, j int, acc float32) {
+			out.Vals[i*m+j] = epi(p, i, j, acc)
+		})
 	})
 }
 
@@ -142,25 +144,15 @@ func runFP16(p *Problem, out *Output) {
 	n, k, m := p.Dims()
 	dec := f32Decoder(matrix.FP16)
 	aPan := packRowsF32(p.A, dec)
-	bPan := packColsF32(p.B, dec)
+	bPan := packOpColsF32(p, dec)
 	alpha := softfloat.F32ToF16(float32(p.Alpha))
 	beta := softfloat.F32ToF16(float32(p.Beta))
 	parallelRowBlocks(n, rowBlock, func(lo, hi int) {
-		for j := 0; j < m; j++ {
-			col := bPan[j*k : j*k+k]
-			for i := lo; i < hi; i++ {
-				row := aPan[i*k : i*k+k]
-				col := col[:len(row)]
-				var acc uint16
-				for kk, a := range row {
-					prod := softfloat.F32ToF16(a * col[kk])
-					acc = softfloat.F32ToF16(softfloat.F16ToF32(prod) + softfloat.F16ToF32(acc))
-				}
-				c := softfloat.F32ToF16(float32(cVal(p, i, j)))
-				d := softfloat.Add16(softfloat.Mul16(alpha, acc), softfloat.Mul16(beta, c))
-				out.Vals[i*m+j] = float64(softfloat.F16ToF32(d))
-			}
-		}
+		gemmFP16Portable(aPan, bPan, k, m, lo, hi, func(i, j int, acc uint16) {
+			c := softfloat.F32ToF16(float32(cVal(p, i, j)))
+			d := softfloat.Add16(softfloat.Mul16(alpha, acc), softfloat.Mul16(beta, c))
+			out.Vals[i*m+j] = float64(softfloat.F16ToF32(d))
+		})
 	})
 }
 
@@ -169,15 +161,11 @@ func runFP16(p *Problem, out *Output) {
 func runINT8(p *Problem, out *Output) {
 	n, k, m := p.Dims()
 	aPan := packRowsI32(p.A)
-	bPan := packColsI32(p.B)
+	bPan := packOpColsI32(p)
 	parallelRowBlocks(n, rowBlock, func(lo, hi int) {
-		for j := 0; j < m; j++ {
-			col := bPan[j*k : j*k+k]
-			for i := lo; i < hi; i++ {
-				acc := dotI32(aPan[i*k:i*k+k], col)
-				out.Vals[i*m+j] = p.Alpha*float64(acc) + p.Beta*cVal(p, i, j)
-			}
-		}
+		gemmI32Portable(aPan, bPan, k, m, lo, hi, func(i, j int, acc int32) {
+			out.Vals[i*m+j] = p.Alpha*float64(acc) + p.Beta*cVal(p, i, j)
+		})
 	})
 }
 
@@ -187,16 +175,12 @@ func runINT8(p *Problem, out *Output) {
 func Reference(p *Problem) *Output {
 	n, k, m := p.Dims()
 	aPan := packRowsF64(p.A)
-	bPan := packColsF64(p.B)
+	bPan := packOpColsF64(p)
 	out := &Output{Rows: n, Cols: m, Vals: make([]float64, n*m)}
 	parallelRowBlocks(n, rowBlock, func(lo, hi int) {
-		for j := 0; j < m; j++ {
-			col := bPan[j*k : j*k+k]
-			for i := lo; i < hi; i++ {
-				acc := dotF64(aPan[i*k:i*k+k], col)
-				out.Vals[i*m+j] = p.Alpha*acc + p.Beta*cVal(p, i, j)
-			}
-		}
+		gemmF64Portable(aPan, bPan, k, m, lo, hi, func(i, j int, acc float64) {
+			out.Vals[i*m+j] = p.Alpha*acc + p.Beta*cVal(p, i, j)
+		})
 	})
 	return out
 }

@@ -1,0 +1,10 @@
+//go:build !amd64 || portable_kernels
+
+package kernels
+
+// No wide variant on this build: the capability probe selects the
+// portable lane kernels unconditionally.
+
+const wideKernelsAvailable = false
+
+func installWideKernels() {}

@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+// TestTransposedStorageBitIdentical checks that a Problem carrying B as
+// its transpose (BTransposed) computes the exact bits of the same
+// Problem with a materialized transpose, across dtypes, non-square
+// shapes, and raw NaN/Inf/subnormal bit patterns, for both Run and
+// Reference.
+func TestTransposedStorageBitIdentical(t *testing.T) {
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 33, 9}, {65, 130, 66}}
+	for _, dt := range matrix.ExtendedDTypes {
+		for si, sh := range shapes {
+			n, k, m := sh[0], sh[1], sh[2]
+			seed := uint64(si*100) + uint64(dt) + 7
+
+			a := matrix.New(dt, n, k)
+			g := matrix.New(dt, m, k) // stores Bᵀ: row j is operand column j
+			matrix.FillGaussian(a, rng.Derive(seed, "A"), 0, matrix.DefaultStd(dt))
+			fillRawBits(g, rng.Derive(seed, "Graw"))
+
+			pt := NewTransposedProblem(dt, a, g)
+			pm := NewProblem(dt, a, g.Transpose())
+
+			if gn, gk, gm := pt.Dims(); gn != n || gk != k || gm != m {
+				t.Fatalf("%v: transposed Dims = (%d,%d,%d), want (%d,%d,%d)", dt, gn, gk, gm, n, k, m)
+			}
+			got, err := Run(pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, dt.String()+" transposed-storage", got, want)
+
+			assertBitIdentical(t, dt.String()+" transposed-reference", Reference(pt), Reference(pm))
+		}
+	}
+}
+
+// TestVariantsBitIdentical runs the same problems through every
+// compiled-in kernel variant and requires identical bits, guarding the
+// capability-probe dispatch.
+func TestVariantsBitIdentical(t *testing.T) {
+	if !wideKernelsAvailable {
+		t.Skip("only the portable variant is compiled in")
+	}
+	installWideKernels()
+	prev := activeVariant
+	defer func() { activeVariant = prev }()
+
+	shapes := [][3]int{{3, 5, 7}, {65, 130, 66}}
+	for _, dt := range matrix.ExtendedDTypes {
+		for si, sh := range shapes {
+			n, k, m := sh[0], sh[1], sh[2]
+			seed := uint64(si*31) + uint64(dt) + 3
+			a := matrix.New(dt, n, k)
+			b := matrix.New(dt, k, m)
+			fillRawBits(a, rng.Derive(seed, "A"))
+			fillRawBits(b, rng.Derive(seed, "B"))
+			p := NewProblem(dt, a, b)
+
+			activeVariant = VariantPortable
+			want, err := Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			activeVariant = VariantWide
+			got, err := Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, dt.String()+" wide-vs-portable", got, want)
+		}
+	}
+}
+
+// TestActiveKernelVariantProbe sanity-checks the probe's report.
+func TestActiveKernelVariantProbe(t *testing.T) {
+	v := ActiveKernelVariant()
+	if v != VariantPortable && v != VariantWide {
+		t.Fatalf("unknown variant %q", v)
+	}
+	if !wideKernelsAvailable && v != VariantPortable {
+		t.Fatalf("portable build reports %q", v)
+	}
+}

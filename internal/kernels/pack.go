@@ -53,6 +53,35 @@ func packColsF32(mt *matrix.Matrix, dec func(uint32) float32) []float32 {
 	return out
 }
 
+// packOpColsF32 packs the logical B operand into M contiguous column
+// panels. With transposed storage the operand's columns are B's rows,
+// so packing degenerates to a straight row-major decode — one of the
+// wins of BTransposed.
+func packOpColsF32(p *Problem, dec func(uint32) float32) []float32 {
+	if p.BTransposed {
+		return packRowsF32(p.B, dec)
+	}
+	return packColsF32(p.B, dec)
+}
+
+// packOpColsI32 packs the logical B operand into column panels of
+// sign-extended int32.
+func packOpColsI32(p *Problem) []int32 {
+	if p.BTransposed {
+		return packRowsI32(p.B)
+	}
+	return packColsI32(p.B)
+}
+
+// packOpColsF64 packs the logical B operand into float64 column panels
+// for the reference oracle.
+func packOpColsF64(p *Problem) []float64 {
+	if p.BTransposed {
+		return packRowsF64(p.B)
+	}
+	return packColsF64(p.B)
+}
+
 // packRowsI32 sign-extends INT8 elements into a row-major int32 panel.
 func packRowsI32(mt *matrix.Matrix) []int32 {
 	out := make([]int32, len(mt.Bits))

@@ -223,19 +223,37 @@ func SortWithinRows(m *Matrix, frac float64) {
 // starting point of the sparsity-after-sorting experiment (Fig. 6b).
 func SortFully(m *Matrix) { SortIntoRows(m, 1) }
 
+// DeltaDenseFrac is the density cutoff shared by the tracked
+// transforms and activity's incremental delta scans: a touched list
+// longer than len(Bits)/DeltaDenseFrac costs more to sort and patch
+// than a full streaming rescan, so the tracked transforms decline to
+// enumerate a set they can tell upfront will be that dense — the
+// transform is still applied in full with identical RNG consumption,
+// only the tracking is skipped.
+const DeltaDenseFrac = 8
+
 // Sparsify sets a uniformly random frac of the elements to zero
 // (§IV-D, Fig. 6a/6b). Positions are chosen without replacement (a
 // partial Fisher–Yates over the index space — only the first k steps
 // of the shuffle run) so the realized sparsity is exact up to rounding.
 func Sparsify(m *Matrix, src *rng.Source, frac float64) {
+	SparsifyTouched(m, src, frac)
+}
+
+// SparsifyTouched is Sparsify, additionally returning the element
+// indices it zeroed so callers can update derived statistics
+// incrementally. ok is false when the touched set is not enumerated —
+// everything zeroed, or dense past DeltaDenseFrac; the RNG consumption
+// is identical to Sparsify in every case.
+func SparsifyTouched(m *Matrix, src *rng.Source, frac float64) (touched []int32, ok bool) {
 	n := len(m.Bits)
 	k := countOf(frac, n)
 	if k == 0 {
-		return
+		return nil, true
 	}
 	if k == n {
 		Zero(m)
-		return
+		return nil, false
 	}
 	idx := make([]int32, n)
 	for i := range idx {
@@ -246,6 +264,12 @@ func Sparsify(m *Matrix, src *rng.Source, frac float64) {
 		idx[s], idx[j] = idx[j], idx[s]
 		m.Bits[idx[s]] = 0
 	}
+	if DeltaDenseFrac*k > n {
+		return nil, false
+	}
+	// The shuffle prefix is exactly the set of zeroed positions; copy
+	// it so the n-sized backing array can be collected.
+	return append([]int32(nil), idx[:k]...), true
 }
 
 // RandomBitFlips flips each bit of each element independently with
@@ -258,9 +282,21 @@ func Sparsify(m *Matrix, src *rng.Source, frac float64) {
 // work scales with the number of flips instead of the number of bits.
 // Both are exact Bernoulli processes per bit.
 func RandomBitFlips(m *Matrix, src *rng.Source, p float64) {
+	RandomBitFlipsTouched(m, src, p)
+}
+
+// RandomBitFlipsTouched is RandomBitFlips, additionally returning the
+// element indices whose bits it flipped (non-decreasing, duplicates
+// possible when one element takes several flips) so callers can update
+// derived statistics incrementally. ok is false when the touched set
+// is not enumerated — the dense paths (p ≥ ¼), and flip rates whose
+// expected flip count already exceeds the DeltaDenseFrac cutoff, where
+// nearly every element changes anyway. RNG consumption is identical to
+// RandomBitFlips in every case.
+func RandomBitFlipsTouched(m *Matrix, src *rng.Source, p float64) (touched []int32, ok bool) {
 	p = clampFrac(p)
 	if p == 0 {
-		return
+		return nil, true
 	}
 	width := m.DType.Width()
 	if p >= 1 {
@@ -268,7 +304,7 @@ func RandomBitFlips(m *Matrix, src *rng.Source, p float64) {
 		for i := range m.Bits {
 			m.Bits[i] ^= mask
 		}
-		return
+		return nil, false
 	}
 	if p >= 0.25 {
 		// One 63-bit threshold compare per bit.
@@ -282,10 +318,13 @@ func RandomBitFlips(m *Matrix, src *rng.Source, p float64) {
 			}
 			m.Bits[i] ^= flip
 		}
-		return
+		return nil, false
 	}
 	// Geometric skipping over the matrix's global bit stream: the gap
 	// between successive flips is Geometric(p) by inversion sampling.
+	// The expected list length is p·width per element; when that is
+	// already past the density cutoff, flip without enumerating.
+	track := DeltaDenseFrac*p*float64(width) <= 1
 	total := len(m.Bits) * width
 	shift := uint(bits.TrailingZeros(uint(width))) // widths are powers of two
 	mask := width - 1
@@ -294,13 +333,16 @@ func RandomBitFlips(m *Matrix, src *rng.Source, p float64) {
 	for {
 		skip := math.Floor(math.Log(1-src.Float64()) / lnq)
 		if skip >= float64(total-pos) {
-			return
+			return touched, track
 		}
 		pos += int(skip)
 		m.Bits[pos>>shift] ^= 1 << uint(pos&mask)
+		if track {
+			touched = append(touched, int32(pos>>shift))
+		}
 		pos++
 		if pos >= total {
-			return
+			return touched, track
 		}
 	}
 }

@@ -37,6 +37,35 @@ type Pattern struct {
 	// Transform runs the post-generation transform chain, or is nil
 	// when the pattern is just a generator.
 	Transform func(m *matrix.Matrix, src *rng.Source)
+
+	// DeltaTransform, when non-nil, is an alternative to Transform
+	// that applies the same chain (identical bits, identical RNG
+	// consumption) and additionally reports which element indices it
+	// touched, so runners can update cached operand statistics
+	// incrementally. ok is false when some step could not enumerate
+	// its touches — the matrix is still fully transformed, but the
+	// caller must fall back to a full rescan. Chains containing an
+	// untrackable step (sorts, whole-matrix bit edits) have a nil
+	// DeltaTransform.
+	DeltaTransform func(m *matrix.Matrix, src *rng.Source) (touched []int32, ok bool)
+
+	// DrawStream and EncodeStream, when non-nil, split the generation
+	// stage into a datatype-independent raw draw and a per-datatype
+	// encode: EncodeStream(m, DrawStream(src, len(m.Bits))) is
+	// bit-identical to BaseFill(m, src). Runners cache the raw stream
+	// per (side, seed) and share it across datatypes, whose generated
+	// matrices differ only in encoding.
+	DrawStream   func(src *rng.Source, n int) []float64
+	EncodeStream func(m *matrix.Matrix, raw []float64)
+
+	// EncodeAffine, when non-nil, declares that EncodeStream encodes the
+	// affine value map mean + std·raw[i] for the given datatype (the
+	// Gaussian patterns' encode). Runners may use it to fuse the encode
+	// with other per-element passes; EncodeStream stays the reference.
+	EncodeAffine func(dt matrix.DType) (mean, std float64)
+	// EncodeVerbatim declares that EncodeStream encodes raw values
+	// as-is (matrix.EncodeValues) with no value map.
+	EncodeVerbatim bool
 }
 
 // Apply fills the matrix.
@@ -47,7 +76,9 @@ func generator(name string, fill func(m *matrix.Matrix, src *rng.Source)) Patter
 	return Pattern{Name: name, Fill: fill, BaseName: name, BaseFill: fill}
 }
 
-// Then composes a transform after this pattern's fill.
+// Then composes a transform after this pattern's fill. The step is
+// untrackable: the result has no DeltaTransform. Trackable steps go
+// through thenTracked instead.
 func (p Pattern) Then(name string, f func(m *matrix.Matrix, src *rng.Source)) Pattern {
 	prevFill := p.Fill
 	xform := f
@@ -63,27 +94,75 @@ func (p Pattern) Then(name string, f func(m *matrix.Matrix, src *rng.Source)) Pa
 			prevFill(m, src)
 			f(m, src)
 		},
-		BaseName:  p.BaseName,
-		BaseFill:  p.BaseFill,
-		Transform: xform,
+		BaseName:       p.BaseName,
+		BaseFill:       p.BaseFill,
+		Transform:      xform,
+		DrawStream:     p.DrawStream,
+		EncodeStream:   p.EncodeStream,
+		EncodeAffine:   p.EncodeAffine,
+		EncodeVerbatim: p.EncodeVerbatim,
 	}
+}
+
+// thenTracked composes a transform whose touched positions are
+// enumerable. The chain stays trackable only while every step is:
+// a preceding untrackable step (nil DeltaTransform with a non-nil
+// Transform) poisons the whole chain.
+func (p Pattern) thenTracked(name string, f func(m *matrix.Matrix, src *rng.Source),
+	tf func(m *matrix.Matrix, src *rng.Source) ([]int32, bool)) Pattern {
+	np := p.Then(name, f)
+	if p.Transform != nil && p.DeltaTransform == nil {
+		return np
+	}
+	prev := p.DeltaTransform
+	np.DeltaTransform = func(m *matrix.Matrix, src *rng.Source) ([]int32, bool) {
+		var touched []int32
+		if prev != nil {
+			t, ok := prev(m, src)
+			if !ok {
+				// The chain must still be applied in full (same RNG
+				// stream) even though tracking already failed.
+				f(m, src)
+				return nil, false
+			}
+			touched = t
+		}
+		t, ok := tf(m, src)
+		if !ok {
+			return nil, false
+		}
+		return append(touched, t...), true
+	}
+	return np
 }
 
 // Gaussian fills with Gaussian variates (§IV-A).
 func Gaussian(mean, std float64) Pattern {
-	return generator(fmt.Sprintf("gaussian(mean=%g,std=%g)", mean, std),
+	p := generator(fmt.Sprintf("gaussian(mean=%g,std=%g)", mean, std),
 		func(m *matrix.Matrix, src *rng.Source) {
 			matrix.FillGaussian(m, src, mean, std)
 		})
+	p.DrawStream = matrix.GaussianStream
+	p.EncodeStream = func(m *matrix.Matrix, raw []float64) {
+		matrix.EncodeGaussianStream(m, raw, mean, std)
+	}
+	p.EncodeAffine = func(matrix.DType) (float64, float64) { return mean, std }
+	return p
 }
 
 // GaussianDefault fills with the paper's default distribution for the
 // matrix's datatype: mean 0, σ = 210 for FP, σ = 25 for INT8.
 func GaussianDefault() Pattern {
-	return generator("gaussian(default)",
+	p := generator("gaussian(default)",
 		func(m *matrix.Matrix, src *rng.Source) {
 			matrix.FillGaussian(m, src, 0, matrix.DefaultStd(m.DType))
 		})
+	p.DrawStream = matrix.GaussianStream
+	p.EncodeStream = func(m *matrix.Matrix, raw []float64) {
+		matrix.EncodeGaussianStream(m, raw, 0, matrix.DefaultStd(m.DType))
+	}
+	p.EncodeAffine = func(dt matrix.DType) (float64, float64) { return 0, matrix.DefaultStd(dt) }
+	return p
 }
 
 // FromSet fills with values drawn uniformly (with replacement) from a
@@ -91,11 +170,17 @@ func GaussianDefault() Pattern {
 // itself is drawn from the same stream, so different seeds give
 // different sets.
 func FromSet(n int, mean, std float64) Pattern {
-	return generator(fmt.Sprintf("set(n=%d,mean=%g,std=%g)", n, mean, std),
+	p := generator(fmt.Sprintf("set(n=%d,mean=%g,std=%g)", n, mean, std),
 		func(m *matrix.Matrix, src *rng.Source) {
 			set := matrix.GaussianSet(src, n, mean, std)
 			matrix.FillFromSet(m, src, set)
 		})
+	p.DrawStream = func(src *rng.Source, sz int) []float64 {
+		return matrix.FromSetStream(src, n, mean, std, sz)
+	}
+	p.EncodeStream = matrix.EncodeValues
+	p.EncodeVerbatim = true
+	return p
 }
 
 // ConstantRandom fills the whole matrix with a single Gaussian draw
@@ -125,8 +210,11 @@ func Constant(v float64) Pattern {
 // BitFlips applies independent per-bit flips with probability p
 // (§IV-B Fig. 4a) after the base pattern.
 func (p Pattern) BitFlips(prob float64) Pattern {
-	return p.Then(fmt.Sprintf("flip(p=%g)", prob),
-		func(m *matrix.Matrix, src *rng.Source) { matrix.RandomBitFlips(m, src, prob) })
+	return p.thenTracked(fmt.Sprintf("flip(p=%g)", prob),
+		func(m *matrix.Matrix, src *rng.Source) { matrix.RandomBitFlips(m, src, prob) },
+		func(m *matrix.Matrix, src *rng.Source) ([]int32, bool) {
+			return matrix.RandomBitFlipsTouched(m, src, prob)
+		})
 }
 
 // RandomLSBs randomizes the n least significant bits (Fig. 4b).
@@ -173,8 +261,11 @@ func (p Pattern) Sorted(kind SortKind, frac float64) Pattern {
 
 // Sparse zeroes a random fraction of elements (Fig. 6a/6b).
 func (p Pattern) Sparse(frac float64) Pattern {
-	return p.Then(fmt.Sprintf("sparsify(%g%%)", frac*100),
-		func(m *matrix.Matrix, src *rng.Source) { matrix.Sparsify(m, src, frac) })
+	return p.thenTracked(fmt.Sprintf("sparsify(%g%%)", frac*100),
+		func(m *matrix.Matrix, src *rng.Source) { matrix.Sparsify(m, src, frac) },
+		func(m *matrix.Matrix, src *rng.Source) ([]int32, bool) {
+			return matrix.SparsifyTouched(m, src, frac)
+		})
 }
 
 // ZeroLSBs clears the n least significant bits (Fig. 6c).

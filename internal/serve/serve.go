@@ -216,7 +216,7 @@ func Simulate(dev *device.Device, dt matrix.DType, pat patterns.Pattern, size, s
 	b := matrix.New(dt, size, size)
 	pat.Apply(b, rng.Derive(base.Uint64(), "B"))
 
-	prob := kernels.NewProblem(dt, a, b.Transpose())
+	prob := kernels.NewTransposedProblem(dt, a, b)
 	rep, err := activity.Analyze(prob, activity.Config{
 		SampleOutputs: sampleOutputs,
 		Seed:          0xAC71,

@@ -30,6 +30,18 @@ const (
 	f16QNaN uint16 = 0x7E00
 )
 
+// FP32-side range boundaries of the binary16 conversion. F16MaxF32 and
+// F16SubnormF32 bound the FP32 magnitudes whose conversion lands in the
+// binary16 normal range; they are exported so encode hot loops can
+// hand-inline the conversion's normal path (F32ToF16 itself exceeds
+// the compiler's inlining budget) and defer the tails to F32ToF16.
+const (
+	f32Infty       = uint32(255) << 23
+	F16MaxF32      = uint32(127+16) << 23
+	F16SubnormF32  = uint32(113) << 23
+	f16DenormMagic = uint32(((127 - 15) + (23 - 10) + 1)) << 23
+)
+
 // F32ToF16 converts an FP32 value to binary16 with round-to-nearest-even
 // semantics, handling subnormals, overflow to infinity, and NaN
 // quieting. This mirrors the numeric conversion the paper applies when
@@ -41,35 +53,40 @@ const (
 // the bottom of a float via one FP32 addition, whose hardware rounding
 // is exactly the RNE the conversion needs. f32ToF16Compute is the
 // field-by-field reference it is verified against.
+//
+// Only the normal-range path lives in F32ToF16 itself, keeping the
+// function within the compiler's inlining budget on the encode hot
+// loops; the range tails (subnormal/zero, overflow, NaN) take
+// f32ToF16Tail.
 func F32ToF16(f float32) uint16 {
-	const (
-		f32Infty    = uint32(255) << 23
-		f16Max      = uint32(127+16) << 23
-		subnormal   = uint32(113) << 23
-		denormMagic = uint32(((127 - 15) + (23 - 10) + 1)) << 23
-	)
 	b := math.Float32bits(f)
+	ab := b &^ F32SignMask
+	// One unsigned compare selects the normal range [subnormal, f16Max);
+	// magnitudes below it wrap past the window and also take the tail.
+	if ab-F16SubnormF32 < F16MaxF32-F16SubnormF32 {
+		mantOdd := (ab >> 13) & 1
+		ab -= uint32(112) << 23 // re-bias exponent 127 → 15
+		ab += 0xFFF + mantOdd   // round to nearest, ties to even
+		return uint16(b>>16)&F16SignMask | uint16(ab>>13)
+	}
+	return f32ToF16Tail(b)
+}
+
+func f32ToF16Tail(b uint32) uint16 {
 	sign := uint16(b>>16) & F16SignMask
 	b &^= F32SignMask
-
-	if b >= f16Max {
+	if b >= F16MaxF32 {
 		// Inf, NaN, or a finite value rounding past the binary16 range.
 		if b > f32Infty {
 			return sign | f16QNaN
 		}
 		return sign | f16Inf
 	}
-	if b < subnormal {
-		// Result is a binary16 subnormal or zero: the FP32 add rounds the
-		// value at exactly the half-subnormal precision (RNE in hardware),
-		// and the integer subtract re-biases the aligned mantissa.
-		v := math.Float32frombits(b) + math.Float32frombits(denormMagic)
-		return sign | uint16(math.Float32bits(v)-denormMagic)
-	}
-	mantOdd := (b >> 13) & 1
-	b -= uint32(112) << 23 // re-bias exponent 127 → 15
-	b += 0xFFF + mantOdd   // round to nearest, ties to even
-	return sign | uint16(b>>13)
+	// Result is a binary16 subnormal or zero: the FP32 add rounds the
+	// value at exactly the half-subnormal precision (RNE in hardware),
+	// and the integer subtract re-biases the aligned mantissa.
+	v := math.Float32frombits(b) + math.Float32frombits(f16DenormMagic)
+	return sign | uint16(math.Float32bits(v)-f16DenormMagic)
 }
 
 // f32ToF16Compute is the field-by-field RNE conversion, kept as the
