@@ -21,9 +21,17 @@
 // without forwarding; truncate forwards, then writes only half the
 // upstream body against a full-length Content-Length, so the client
 // sees the connection die mid-transfer.
+//
+// -obs-addr starts a second listener with the proxy's own counters
+// (chaos.requests, chaos.forwarded, chaos.injected.<kind>) as
+// GET /metrics in the standard JSON shape or ?format=prom, plus a
+// /healthz. It must be a separate port: GET on the proxy port forwards
+// to the upstream, and the chaos CI job needs to ask the proxy itself
+// how many faults it actually injected.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +42,8 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +52,7 @@ func main() {
 		upstream = flag.String("upstream", "", "base URL of the shard this proxy fronts (required)")
 		planPath = flag.String("plan", "", "path to a faultinject JSON plan (required)")
 		shard    = flag.Int("shard", 0, "this proxy's shard index within the plan")
+		obsAddr  = flag.String("obs-addr", "", "serve the proxy's own /metrics and /healthz on this address (empty = disabled)")
 	)
 	flag.Parse()
 	if *upstream == "" || *planPath == "" {
@@ -61,15 +72,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	p := &proxy{
-		upstream: *upstream,
-		plan:     plan,
-		shard:    *shard,
-		client: &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        256,
-			MaxIdleConnsPerHost: 256,
-			IdleConnTimeout:     90 * time.Second,
-		}},
+	p := newProxy(*upstream, plan, *shard)
+
+	if *obsAddr != "" {
+		go func() {
+			log.Printf("chaosproxy: metrics on %s", *obsAddr)
+			if err := http.ListenAndServe(*obsAddr, p.obsHandler()); err != nil {
+				log.Printf("chaosproxy: metrics: %v", err)
+			}
+		}()
 	}
 
 	log.Printf("chaosproxy: %s -> %s, plan %s (shard %d, %d events)",
@@ -93,8 +104,64 @@ type proxy struct {
 	shard    int
 	client   *http.Client
 
+	// metrics counts what the proxy did, so the chaos CI job can assert
+	// the plan's faults were actually injected rather than inferring it
+	// from client-side symptoms: chaos.requests (counted POSTs),
+	// chaos.forwarded (requests the upstream saw), and one
+	// chaos.injected.<kind> counter per fault kind.
+	metrics   *telemetry.MetricSet
+	requests  *telemetry.Counter
+	forwarded *telemetry.Counter
+	injected  map[faultinject.Kind]*telemetry.Counter
+
 	mu    sync.Mutex
 	count int
+}
+
+func newProxy(upstream string, plan *faultinject.Plan, shard int) *proxy {
+	p := &proxy{
+		upstream: upstream,
+		plan:     plan,
+		shard:    shard,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		metrics:  telemetry.NewMetricSet(),
+		injected: map[faultinject.Kind]*telemetry.Counter{},
+	}
+	p.requests = p.metrics.Counter("chaos.requests")
+	p.forwarded = p.metrics.Counter("chaos.forwarded")
+	// Pre-register every kind so a fault-free run still exposes zeroed
+	// counters the CI assertions can read.
+	for _, k := range faultinject.Kinds() {
+		p.injected[k] = p.metrics.Counter("chaos.injected." + string(k))
+	}
+	return p
+}
+
+// obsHandler serves the proxy's own observability surface: /healthz
+// and GET /metrics in the standard JSON shape (or ?format=prom).
+func (p *proxy) obsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status": "ok"}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]map[string]int64{"metrics": p.metrics.Snapshot()})
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			obs.WriteProm(w, p.metrics.PromSnapshot())
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (use json or prom)", format), http.StatusBadRequest)
+		}
+	})
+	return mux
 }
 
 func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -102,6 +169,7 @@ func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.forward(w, r, 1)
 		return
 	}
+	p.requests.Inc()
 	p.mu.Lock()
 	idx := p.count
 	p.count++
@@ -113,6 +181,7 @@ func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	log.Printf("chaosproxy: request %d: injecting %s", idx, ev.Kind)
+	p.injected[ev.Kind].Inc()
 	switch ev.Kind {
 	case faultinject.KindRefuse:
 		// Abort the connection without writing a response: the client
@@ -148,6 +217,7 @@ func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // forward proxies one request to the upstream, writing 1/div of the
 // response body (div 2 = the truncate fault).
 func (p *proxy) forward(w http.ResponseWriter, r *http.Request, div int) {
+	p.forwarded.Inc()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.upstream+r.URL.RequestURI(), r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)

@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -64,8 +65,18 @@ func main() {
 		policyFlag  = flag.String("policy", "PredictiveHorizon", "scheduling policy: "+strings.Join(sched.Names(), ", "))
 		walPath     = flag.String("wal", "", "journal every admitted job to this append-only JSONL file, fsynced before the admission is acknowledged")
 		resumePath  = flag.String("resume", "", "replay this journal into the fresh session before serving (may be the same file as -wal)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("fleetctl: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, obs.PprofHandler()); err != nil {
+				log.Printf("fleetctl: pprof: %v", err)
+			}
+		}()
+	}
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -81,9 +82,14 @@ func main() {
 		fallback       = flag.String("fallback", "", `"local" computes answers in-process when a key's every replica is down (responses carry "degraded": true)`)
 		watchConfig    = flag.String("watch-config", "", "shard-list file to poll and reconcile the ring against (one URL per line, # comments)")
 		watchInterval  = flag.Duration("watch-interval", cluster.DefaultWatchInterval, "poll cadence for -watch-config")
+		pprofAddr      = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Var(&shards, "shard", "shard base URL (repeat once per shard, order-significant)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof("powerrouter", *pprofAddr)
+	}
 
 	if len(shards) == 0 {
 		fmt.Fprintln(os.Stderr, "powerrouter: at least one -shard is required")
@@ -184,5 +190,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "powerrouter: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// servePprof runs the opt-in profiling listener on its own address,
+// kept off the serving port so profiles never contend with (or expose
+// themselves to) request traffic.
+func servePprof(name, addr string) {
+	log.Printf("%s: pprof on %s", name, addr)
+	if err := http.ListenAndServe(addr, obs.PprofHandler()); err != nil {
+		log.Printf("%s: pprof: %v", name, err)
 	}
 }

@@ -27,19 +27,25 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8090", "listen address")
-		cache   = flag.Int("cache", 4096, "prediction LRU capacity (entries)")
-		shards  = flag.Int("shards", 0, "worker-pool shards (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 256, "per-shard queue capacity")
-		maxSize = flag.Int("maxsize", 512, "largest accepted GEMM dimension")
-		samples = flag.Int("sampleoutputs", 128, "sampled activity terms per simulation")
+		addr      = flag.String("addr", ":8090", "listen address")
+		cache     = flag.Int("cache", 4096, "prediction LRU capacity (entries)")
+		shards    = flag.Int("shards", 0, "worker-pool shards (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "per-shard queue capacity")
+		maxSize   = flag.Int("maxsize", 512, "largest accepted GEMM dimension")
+		samples   = flag.Int("sampleoutputs", 128, "sampled activity terms per simulation")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof("powerserve", *pprofAddr)
+	}
 
 	srv := serve.New(serve.Config{
 		CacheSize:     *cache,
@@ -87,4 +93,14 @@ func effectiveShards(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// servePprof runs the opt-in profiling listener on its own address,
+// kept off the serving port so profiles never contend with (or expose
+// themselves to) request traffic.
+func servePprof(name, addr string) {
+	log.Printf("%s: pprof on %s", name, addr)
+	if err := http.ListenAndServe(addr, obs.PprofHandler()); err != nil {
+		log.Printf("%s: pprof: %v", name, err)
+	}
 }

@@ -1,0 +1,43 @@
+// Command promlint validates a Prometheus text-format exposition with
+// the same hand-rolled checker internal/obs uses in its unit tests:
+//
+//	promlint scrape.prom        # lint a file
+//	curl -s :8080/metrics?format=prom | promlint
+//
+// It prints every problem found and exits non-zero if there are any —
+// CI's obs smoke job runs it against real scrapes from the live
+// binaries.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if len(os.Args) > 1 {
+		if os.Args[1] == "-h" || os.Args[1] == "--help" {
+			fmt.Fprintln(os.Stderr, "usage: promlint [file]")
+			os.Exit(2)
+		}
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, src = f, os.Args[1]
+	}
+	if errs := obs.LintProm(in); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", src, e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s: OK\n", src)
+}

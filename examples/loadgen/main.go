@@ -49,16 +49,22 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/patterns"
 	"repro/internal/serve"
 )
+
+// traceIDs mints one X-Trace-Id per request from the house RNG, so a
+// loadgen run's traffic shows up in the servers' /debug/spans rings
+// with stable, greppable identities — rerun the same workload and the
+// same requests carry the same trace IDs.
+var traceIDs = obs.NewIDGen(0x10adce4, "loadgen")
 
 type predictRequest struct {
 	Device  string `json:"device,omitempty"`
@@ -117,7 +123,7 @@ type loadConfig struct {
 // loadResult is what one measured run produced.
 type loadResult struct {
 	elapsed             time.Duration
-	latencies           []time.Duration // sorted
+	latencies           obs.HistogramSnapshot // the shared serving-stack histogram
 	failed              int
 	coalesced, distinct int64
 	before, after       *healthResponse
@@ -367,7 +373,11 @@ func runLoad(cfg loadConfig) *loadResult {
 	}
 
 	jobs := make(chan int)
-	latencies := make([]time.Duration, cfg.total)
+	// The same log-bucketed histogram the servers record into: workers
+	// observe concurrently with no coordination, and the report reads
+	// quantiles from the merged snapshot (within the histogram's bucket
+	// resolution of an exact sort — see the agreement test).
+	lat := obs.NewLatencyHistogram()
 	errs := make([]error, cfg.total)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -381,7 +391,7 @@ func runLoad(cfg loadConfig) *loadResult {
 					errs[i] = predict(cfg.client, cfg.addr, predictRequest{
 						DType: cfg.dtype, Pattern: patternFor(i), Size: cfg.size,
 					})
-					latencies[i] = time.Since(t0)
+					lat.ObserveDuration(time.Since(t0))
 					continue
 				}
 				// i is the first request index of a batch; every
@@ -399,7 +409,7 @@ func runLoad(cfg loadConfig) *loadResult {
 				resp, err := predictBatch(cfg.client, cfg.addr, reqs)
 				rt := time.Since(t0)
 				for j := i; j < end; j++ {
-					latencies[j] = rt
+					lat.ObserveDuration(rt)
 					errs[j] = err
 				}
 				if err == nil {
@@ -443,8 +453,7 @@ func runLoad(cfg loadConfig) *loadResult {
 			res.failed++
 		}
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	res.latencies = latencies
+	res.latencies = lat.Snapshot()
 	res.after = health(cfg.client, cfg.addr)
 	return res
 }
@@ -460,7 +469,7 @@ func report(cfg loadConfig, res *loadResult) {
 	fmt.Printf("  elapsed     : %v\n", res.elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput  : %.0f req/s\n", res.throughput(cfg.total))
 	fmt.Printf("  latency p50 : %v\n", percentile(res.latencies, 0.50))
-	fmt.Printf("  latency p90 : %v\n", percentile(res.latencies, 0.90))
+	fmt.Printf("  latency p95 : %v\n", percentile(res.latencies, 0.95))
 	fmt.Printf("  latency p99 : %v\n", percentile(res.latencies, 0.99))
 	fmt.Printf("  failures    : %d\n", res.failed)
 	if cfg.batch > 0 {
@@ -509,12 +518,24 @@ func defaultPatterns() []string {
 	}
 }
 
+// postTraced POSTs one JSON body with a fresh X-Trace-Id, so the
+// request is findable in the server's /debug/spans ring.
+func postTraced(client *http.Client, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, traceIDs.ID().String())
+	return client.Do(req)
+}
+
 func predict(client *http.Client, addr string, req predictRequest) error {
 	buf, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(addr+"/predict", "application/json", bytes.NewReader(buf))
+	resp, err := postTraced(client, addr+"/predict", buf)
 	if err != nil {
 		return err
 	}
@@ -531,7 +552,7 @@ func predictBatch(client *http.Client, addr string, reqs []predictRequest) (*bat
 	if err != nil {
 		return nil, err
 	}
-	resp, err := client.Post(addr+"/predict/batch", "application/json", bytes.NewReader(buf))
+	resp, err := postTraced(client, addr+"/predict/batch", buf)
 	if err != nil {
 		return nil, err
 	}
@@ -565,10 +586,10 @@ func health(client *http.Client, addr string) *healthResponse {
 	return &hr
 }
 
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
+// percentile reads quantile p from the latency histogram snapshot.
+// The histogram records nanoseconds, so the bucket upper bound
+// converts straight to a duration; resolution is the histogram's
+// bucket width (≤25% relative), which is plenty for a latency report.
+func percentile(snap obs.HistogramSnapshot, p float64) time.Duration {
+	return time.Duration(snap.Quantile(p))
 }

@@ -1,0 +1,45 @@
+package main
+
+// The report's percentiles come from the shared obs latency histogram
+// rather than a sorted sample array; this pins the contract that makes
+// the swap safe: for every reported quantile, the histogram's answer
+// brackets the exact sorted-sample percentile from above within the
+// histogram's bucket resolution (≤25% relative error).
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+func TestReportedPercentilesAgreeWithExactSort(t *testing.T) {
+	src := rng.New(42)
+	hist := obs.NewLatencyHistogram()
+	samples := make([]time.Duration, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		// A latency-shaped spread: microseconds to hundreds of ms.
+		d := time.Duration(1_000 + src.Intn(300_000_000))
+		samples = append(samples, d)
+		hist.ObserveDuration(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	snap := hist.Snapshot()
+
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		rank := int(q * float64(len(samples)))
+		if rank >= len(samples) {
+			rank = len(samples) - 1
+		}
+		exact := samples[rank]
+		got := percentile(snap, q)
+		if got < exact {
+			t.Errorf("p%.0f: histogram %v below exact %v", q*100, got, exact)
+		}
+		if limit := exact + exact/4 + 1; got > limit {
+			t.Errorf("p%.0f: histogram %v exceeds exact %v by more than the 25%% bucket bound", q*100, got, exact)
+		}
+	}
+}

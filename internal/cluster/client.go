@@ -13,13 +13,20 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
+
+// clusterTraceSeed seeds the router tracer's ID stream — a constant,
+// like serve's, so trace trees are reproducible under test; the
+// "cluster" service label decorrelates it from shard ID streams.
+const clusterTraceSeed = 0xC105EED
 
 // DefaultCooldown is how long a shard stays marked down before the
 // client half-opens it with a live request again.
@@ -137,6 +144,15 @@ type Client struct {
 	exportFailures  *telemetry.Counter
 	coldMisses      *telemetry.Counter
 	downGauge       *telemetry.Gauge
+
+	// Per-hop distributions: how long one upstream attempt takes, how
+	// long the client sleeps between same-shard retries, and how wide a
+	// batch round fans out across shards.
+	attemptLat  *obs.Histogram
+	retrySleep  *obs.Histogram
+	fanoutWidth *obs.Histogram
+
+	tracer *obs.Tracer
 }
 
 // topology is one immutable epoch of the ring: placement plus the
@@ -222,6 +238,12 @@ func New(cfg Config) (*Client, error) {
 		exportFailures:  m.Counter("cluster.resize.export_failures"),
 		coldMisses:      m.Counter("cluster.resize.cold_misses"),
 		downGauge:       m.Gauge("cluster.shards.down"),
+
+		attemptLat:  m.Histogram("cluster.attempt.latency"),
+		retrySleep:  m.Histogram("cluster.retry.delay"),
+		fanoutWidth: m.ValueHistogram("cluster.batch.fanout"),
+
+		tracer: obs.NewTracer("cluster", clusterTraceSeed, 0),
 	}
 	if cfg.RetryBudget > 0 {
 		c.budget = newTokenBucket(cfg.RetryBudget, cfg.RetryRefillPerSec)
@@ -375,9 +397,16 @@ func (c *Client) Predict(ctx context.Context, req serve.PredictRequest) (*serve.
 		if hop > 0 {
 			c.reroutes.Inc()
 		}
-		resp, err := retryCall(c, ctx, s, &first, func(actx context.Context) (*serve.PredictResponse, error) {
+		// One span per hop, carried on the context so HTTPBackend's
+		// header injection makes the shard's server span its child.
+		hopCtx, hopSpan := c.tracer.StartSpan(ctx, "cluster.attempt")
+		hopSpan.SetAttr("shard", s.name)
+		hopSpan.SetAttr("hop", strconv.Itoa(hop))
+		resp, err := retryCall(c, hopCtx, s, &first, func(actx context.Context) (*serve.PredictResponse, error) {
 			return s.backend.Predict(actx, req)
 		})
+		hopSpan.SetError(err)
+		hopSpan.End()
 		if err == nil {
 			c.noteUp(s)
 			c.noteServed(res.Key, resp.Cached, resp.Degraded)
@@ -509,6 +538,7 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 		if len(shardOrder) == 0 {
 			break
 		}
+		c.fanoutWidth.Observe(int64(len(shardOrder)))
 
 		// Fan out one sub-batch per shard; collect the items each
 		// transport failure sends around the ring for the next round.
@@ -524,11 +554,18 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 				defer wg.Done()
 				s := topo.state(slot)
 				c.subbatches.Inc()
+				// The sub-batch span parents the shard's server span
+				// (HTTPBackend carries it in headers), which is what the
+				// router→shard linkage test and the CI obs job assert on.
+				subCtx, subSpan := c.tracer.StartSpan(ctx, "cluster.subbatch")
+				subSpan.SetAttr("shard", s.name)
+				subSpan.SetAttr("items", strconv.Itoa(len(members)))
+				defer subSpan.End()
 				sub := serve.BatchRequest{Requests: make([]serve.PredictRequest, len(members))}
 				for i, p := range members {
 					sub.Requests[i] = req.Requests[p.idx]
 				}
-				sr, err := retryCall(c, ctx, s, &firstAttempt, func(actx context.Context) (*serve.BatchResponse, error) {
+				sr, err := retryCall(c, subCtx, s, &firstAttempt, func(actx context.Context) (*serve.BatchResponse, error) {
 					sr, err := s.backend.PredictBatch(actx, sub)
 					if err == nil && len(sr.Items) != len(members) {
 						// A mis-sized response was still a response: the
@@ -542,6 +579,7 @@ func (c *Client) PredictBatch(ctx context.Context, req serve.BatchRequest) (*ser
 					}
 					return sr, err
 				})
+				subSpan.SetError(err)
 				if err == nil {
 					c.noteUp(s)
 					for i, p := range members {
@@ -816,6 +854,24 @@ func (c *Client) Metrics() map[string]int64 {
 	}
 	return out
 }
+
+// Tracer exposes the router's span source (serve.TracerProvider), so
+// Handler runs routed requests under server spans and mounts
+// GET /debug/spans on the router.
+func (c *Client) Tracer() *obs.Tracer { return c.tracer }
+
+// Histograms snapshots the router's own latency/width distributions
+// (serve.HistogramSource). Shard-side distributions are scraped from
+// the shards directly — each process exposes its own.
+func (c *Client) Histograms() map[string]obs.HistogramSnapshot {
+	return c.metrics.HistogramSnapshots()
+}
+
+// PromMetrics returns the router's typed exposition snapshot
+// (serve.PromSource): its own cluster.* counters, gauges and
+// histograms. Unlike the JSON Metrics fold, prom scrapes are
+// per-process by convention — shards are scraped individually.
+func (c *Client) PromMetrics() obs.PromSnapshot { return c.metrics.PromSnapshot() }
 
 // Close closes every shard backend and the fallback, if any.
 func (c *Client) Close() {

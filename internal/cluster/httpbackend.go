@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -218,6 +219,9 @@ func (b *HTTPBackend) post(ctx context.Context, path string, in, out any) error 
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		// Carry the router's span across the hop so the shard's server
+		// span joins the same trace as a child.
+		obs.Inject(ctx, req.Header)
 		return req, nil
 	}, out)
 }

@@ -204,6 +204,7 @@ func retryCall[T any](c *Client, ctx context.Context, s *shardState, first *bool
 			c.retryAttempts.Inc()
 			d := c.retryDelay.next(prev)
 			prev = d
+			c.retrySleep.ObserveDuration(d)
 			if err := sleepCtx(ctx, d); err != nil {
 				return zero, err
 			}
@@ -213,7 +214,9 @@ func retryCall[T any](c *Client, ctx context.Context, s *shardState, first *bool
 		if c.cfg.AttemptTimeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 		}
+		attemptStart := time.Now()
 		resp, err := call(attemptCtx)
+		c.attemptLat.ObserveDuration(time.Since(attemptStart))
 		err = classify(ctx, attemptCtx, s.name, err)
 		if cancel != nil {
 			cancel()

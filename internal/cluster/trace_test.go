@@ -1,0 +1,140 @@
+package cluster
+
+// The tentpole tracing guarantee, proven deterministically: one traced
+// batch request through a real router over real HTTP shards yields a
+// parent span on the router and child server spans on exactly the
+// shards the ring owns for the batch's keys — no span on any shard
+// that owns none of them. Identities are RNG-derived (no wall clock),
+// so the linkage assertions are exact, not probabilistic.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func TestBatchTraceParentOnRouterChildrenOnOwningShards(t *testing.T) {
+	const shards = 3
+	cores := make([]*serve.Core, shards)
+	cfg := Config{}
+	for i := 0; i < shards; i++ {
+		cores[i] = serve.NewCore(serve.Config{CacheSize: 64, Shards: 1, MaxSize: 64, SampleOutputs: 8})
+		ts := httptest.NewServer(serve.Handler(cores[i]))
+		defer ts.Close()
+		cfg.Shards = append(cfg.Shards, Shard{Name: ts.URL, Backend: NewHTTPBackend(ts.URL, nil)})
+	}
+	client, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	router := httptest.NewServer(serve.Handler(client))
+	defer router.Close()
+
+	// A batch whose keys spread across the ring: distinct sizes hash to
+	// distinct owners (with 3 shards and 6 keys, at least two shards own
+	// something; if ever all six landed on one shard the non-owner
+	// assertion below still holds for the rest).
+	batch := serve.BatchRequest{}
+	owners := map[int]bool{}
+	for _, size := range []int{8, 16, 24, 32, 40, 48} {
+		req := serve.PredictRequest{Size: size}
+		batch.Requests = append(batch.Requests, req)
+		res, err := serve.ResolveRequest(req, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners[client.Ring().Sequence(res.Key.RouteString())[0]] = true
+	}
+
+	// Pin the trace identity from the caller, the way loadgen does.
+	const traceID = "00000000deadbeef"
+	body, _ := json.Marshal(batch)
+	hreq, _ := http.NewRequest(http.MethodPost, router.URL+"/predict/batch", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(obs.TraceHeader, traceID)
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", hresp.StatusCode)
+	}
+	if got := hresp.Header.Get(obs.TraceHeader); got != traceID {
+		t.Fatalf("router echoed trace id %q, want %q", got, traceID)
+	}
+	var bresp serve.BatchResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&bresp); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	for i, item := range bresp.Items {
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+	}
+
+	want, err := obs.ParseID(traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Router side: one server span (the parent) plus one subbatch span
+	// per owning shard, all in the pinned trace, subbatches children of
+	// the server span.
+	var server *obs.Span
+	subByParent := map[obs.ID]int{}
+	routerSpans := client.Tracer().Recorder().Spans()
+	routerIDs := map[obs.ID]bool{}
+	for i := range routerSpans {
+		s := routerSpans[i]
+		if s.TraceID != want {
+			t.Fatalf("router span %q in foreign trace %v", s.Name, s.TraceID)
+		}
+		routerIDs[s.SpanID] = true
+		switch s.Name {
+		case "POST /predict/batch":
+			server = &routerSpans[i]
+		case "cluster.subbatch":
+			subByParent[s.ParentID]++
+		}
+	}
+	if server == nil {
+		t.Fatal("router recorded no server span for the batch")
+	}
+	if got := subByParent[server.SpanID]; got != len(owners) {
+		t.Fatalf("%d subbatch spans under the server span, want one per owning shard (%d)", got, len(owners))
+	}
+
+	// Shard side: every owner has exactly one server span in the trace,
+	// parented by a router span; every non-owner has zero spans at all.
+	for slot, core := range cores {
+		spans := core.Tracer().Recorder().Spans()
+		if !owners[slot] {
+			if len(spans) != 0 {
+				t.Fatalf("non-owning shard %d recorded %d spans: %+v", slot, len(spans), spans)
+			}
+			continue
+		}
+		var inTrace int
+		for _, s := range spans {
+			if s.TraceID != want {
+				t.Fatalf("shard %d span %q in foreign trace %v", slot, s.Name, s.TraceID)
+			}
+			if s.Name == "POST /predict/batch" {
+				inTrace++
+				if !routerIDs[s.ParentID] {
+					t.Fatalf("shard %d server span's parent %v is not a router span", slot, s.ParentID)
+				}
+			}
+		}
+		if inTrace != 1 {
+			t.Fatalf("owning shard %d recorded %d batch server spans, want 1", slot, inTrace)
+		}
+	}
+}

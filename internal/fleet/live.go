@@ -14,12 +14,15 @@ package fleet
 // key stream through jobKeys.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -130,6 +133,15 @@ type Controller struct {
 	inFleet map[string]bool
 	metrics *telemetry.MetricSet
 
+	// Admission latency split: resolveLat is the oracle round trip
+	// (possibly a remote serving ring), admitLat the locked in-memory
+	// admission (WAL append included). The two populations answer
+	// different questions — "is the oracle slow" vs "is the controller
+	// contended" — so they are recorded apart.
+	resolveLat *obs.Histogram
+	admitLat   *obs.Histogram
+	tracer     *obs.Tracer
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	eng      *Engine
@@ -152,14 +164,21 @@ func NewController(cfg Config) (*Controller, error) {
 	for _, m := range eng.models {
 		inFleet[m] = true
 	}
+	m := telemetry.NewMetricSet()
 	c := &Controller{
 		oracle:   eng.cfg.Oracle,
 		models:   eng.models,
 		inFleet:  inFleet,
-		metrics:  telemetry.NewMetricSet(),
+		metrics:  m,
 		eng:      eng,
 		jobs:     make(map[string]*jobRecord),
 		loopDone: make(chan struct{}),
+
+		resolveLat: m.Histogram("fleet.resolve.latency"),
+		admitLat:   m.Histogram("fleet.admit.latency"),
+		// Seeded like the serving tracers: reproducible span identities,
+		// "fleet" label decorrelating the stream.
+		tracer: obs.NewTracer("fleet", 0xF1EE7EED, 0),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	eng.SetSink(c.onEvent)
@@ -268,7 +287,15 @@ func (c *Controller) Submit(ctx context.Context, req submitRequest) (submitRespo
 	if err != nil {
 		return submitResponse{}, &statusError{http.StatusBadRequest, err.Error()}
 	}
-	resolved, err := c.oracle.Resolve(ctx, keys)
+	// The oracle hop runs under its own span (child of the POST /jobs
+	// server span when tracing is on): with a cluster oracle this is
+	// the edge where an admission crosses into the serving ring.
+	resolveCtx, resolveSpan := c.tracer.StartSpan(ctx, "fleet.resolve")
+	resolveStart := time.Now()
+	resolved, err := c.oracle.Resolve(resolveCtx, keys)
+	c.resolveLat.ObserveDuration(time.Since(resolveStart))
+	resolveSpan.SetError(err)
+	resolveSpan.End()
 	if err != nil {
 		return submitResponse{}, &statusError{http.StatusBadGateway, fmt.Sprintf("resolve operating points: %v", err)}
 	}
@@ -277,6 +304,8 @@ func (c *Controller) Submit(ctx context.Context, req submitRequest) (submitRespo
 		ops[k] = resolved[i]
 	}
 
+	admitStart := time.Now()
+	defer func() { c.admitLat.ObserveDuration(time.Since(admitStart)) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -474,7 +503,25 @@ func (c *Controller) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		c.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			c.writeJSON(w, http.StatusOK, map[string]map[string]int64{"metrics": c.metrics.Snapshot()})
+		case "prom":
+			var buf bytes.Buffer
+			if err := obs.WriteProm(&buf, c.metrics.PromSnapshot()); err != nil {
+				c.writeJSON(w, http.StatusInternalServerError, ctlError{Error: err.Error()})
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(buf.Bytes())
+		default:
+			c.writeJSON(w, http.StatusBadRequest, ctlError{Error: "unknown format " + format + " (use json or prom)"})
+		}
+	})
+	mux.Handle("GET /debug/spans", obs.SpansHandler(c.tracer.Recorder()))
+	return obs.TraceMiddleware(c.tracer, mux)
 }
 
 // ctlError is the controller's JSON error body, matching the serving

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// TraceMiddleware wraps next so every POST runs under a server span:
+// the trace continues from inbound X-Trace-Id / X-Span-Id headers (or
+// starts fresh), the handler sees the span on r.Context(), and the
+// response echoes X-Trace-Id so callers can find their spans. GETs
+// (health polls, metric scrapes, span dumps) pass through untouched —
+// they would drown the flight recorder. Response bodies are never
+// altered, which is what keeps the byte-identity equivalence suites
+// oblivious to tracing. A nil tracer returns next unchanged.
+func TraceMiddleware(t *Tracer, next http.Handler) http.Handler {
+	if t == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, span := t.StartFromHeaders(r.Context(), r.Header, r.Method+" "+r.URL.Path)
+		w.Header().Set(TraceHeader, span.Context().TraceID.String())
+		defer span.End()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// SpansResponse is the GET /debug/spans payload.
+type SpansResponse struct {
+	// Total counts every span ever recorded, including those evicted
+	// from the ring.
+	Total int `json:"total"`
+	// Spans are the retained spans, oldest first (optionally filtered
+	// by ?trace=<id>).
+	Spans []Span `json:"spans"`
+}
+
+// SpansHandler serves the recorder's contents as JSON. ?trace=<16 hex>
+// filters to one trace. A nil recorder serves an empty list, so the
+// endpoint shape is stable whether or not tracing is enabled.
+func SpansHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		spans := rec.Spans()
+		if f := r.URL.Query().Get("trace"); f != "" {
+			want, err := ParseID(f)
+			if err != nil {
+				http.Error(w, `{"error":"bad trace id"}`, http.StatusBadRequest)
+				return
+			}
+			kept := spans[:0]
+			for _, s := range spans {
+				if s.TraceID == want {
+					kept = append(kept, s)
+				}
+			}
+			spans = kept
+		}
+		if spans == nil {
+			spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(SpansResponse{Total: rec.Total(), Spans: spans})
+	})
+}
+
+// PprofHandler returns the stdlib pprof surface rooted at
+// /debug/pprof/, for the daemons' opt-in -pprof listener. Kept off
+// the serving mux so profiling never shares a port with traffic.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", http.RedirectHandler("/debug/pprof/", http.StatusMovedPermanently))
+	return mux
+}

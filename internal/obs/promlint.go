@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintProm checks a Prometheus text-format exposition for structural
+// validity and returns every problem found (nil means clean). It is a
+// hand-rolled subset of promtool's checks, used both as a unit test
+// over WriteProm and, via cmd/promlint, as the CI smoke job's
+// validator for real scrapes. Checks:
+//
+//   - metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*
+//     (labels without the colon),
+//   - sample values parse as floats,
+//   - # TYPE appears at most once per family, before its samples, with
+//     a known type,
+//   - no duplicate sample (same name and label set),
+//   - histogram families carry a +Inf bucket, a _count equal to it,
+//     and cumulative bucket counts that never decrease as `le` rises.
+func LintProm(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := map[string]string{} // family -> declared type
+	sampled := map[string]bool{} // family -> saw a sample
+	seen := map[string]bool{}    // name+sorted labels -> dup check
+	type bucketPoint struct {
+		le    float64
+		inf   bool
+		count float64
+		line  int
+	}
+	buckets := map[string][]bucketPoint{} // histogram family -> points in order
+	counts := map[string]float64{}        // histogram family -> _count value
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			fields := strings.Fields(trimmed)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					fail(lineNo, "malformed TYPE comment %q", trimmed)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if !promNameRe.MatchString(name) {
+					fail(lineNo, "invalid metric name %q in TYPE", name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(lineNo, "unknown metric type %q for %s", typ, name)
+				}
+				if _, dup := types[name]; dup {
+					fail(lineNo, "duplicate TYPE for %s", name)
+				}
+				if sampled[name] {
+					fail(lineNo, "TYPE for %s appears after its samples", name)
+				}
+				types[name] = typ
+			}
+			// HELP and free comments pass.
+			continue
+		}
+
+		name, labels, valueStr, ok := splitSample(trimmed)
+		if !ok {
+			fail(lineNo, "unparsable sample %q", trimmed)
+			continue
+		}
+		if !promNameRe.MatchString(name) {
+			fail(lineNo, "invalid metric name %q", name)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			fail(lineNo, "sample value %q is not a float", valueStr)
+			continue
+		}
+		var le string
+		canon := make([]string, 0, len(labels))
+		for _, kv := range labels {
+			if !promLabelRe.MatchString(kv[0]) {
+				fail(lineNo, "invalid label name %q", kv[0])
+			}
+			if kv[0] == "le" {
+				le = kv[1]
+			}
+			canon = append(canon, kv[0]+"="+kv[1])
+		}
+		key := name + "{" + strings.Join(canon, ",") + "}"
+		if seen[key] {
+			fail(lineNo, "duplicate sample %s", key)
+		}
+		seen[key] = true
+
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		sampled[family] = true
+		if types[family] == "histogram" {
+			switch suffix {
+			case "_bucket":
+				pt := bucketPoint{count: value, line: lineNo}
+				if le == "+Inf" {
+					pt.inf = true
+				} else {
+					f, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						fail(lineNo, "histogram %s bucket has unparsable le=%q", family, le)
+						continue
+					}
+					pt.le = f
+				}
+				buckets[family] = append(buckets[family], pt)
+			case "_count":
+				counts[family] = value
+			case "":
+				fail(lineNo, "histogram family %s has a bare sample", family)
+			}
+		}
+		if types[family] == "counter" && value < 0 {
+			fail(lineNo, "counter %s has negative value %v", family, value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+
+	for family, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		pts := buckets[family]
+		if len(pts) == 0 {
+			fail(0, "histogram %s has no _bucket samples", family)
+			continue
+		}
+		last := pts[len(pts)-1]
+		if !last.inf {
+			fail(last.line, "histogram %s: last bucket is not le=\"+Inf\"", family)
+		}
+		for i := 1; i < len(pts); i++ {
+			prev, cur := pts[i-1], pts[i]
+			if prev.inf {
+				fail(cur.line, "histogram %s: bucket after +Inf", family)
+			} else if !cur.inf && cur.le <= prev.le {
+				fail(cur.line, "histogram %s: le boundaries not increasing", family)
+			}
+			if cur.count < prev.count {
+				fail(cur.line, "histogram %s: cumulative bucket counts decrease", family)
+			}
+		}
+		if c, ok := counts[family]; !ok {
+			fail(0, "histogram %s has no _count sample", family)
+		} else if last.inf && c != last.count {
+			fail(last.line, "histogram %s: _count %v != +Inf bucket %v", family, c, last.count)
+		}
+	}
+	return errs
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// splitSample parses `name{k="v",...} value [timestamp]`, handling
+// escaped quotes and backslashes inside label values.
+func splitSample(line string) (name string, labels [][2]string, value string, ok bool) {
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return "", nil, "", false
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if rest == "" {
+				return "", nil, "", false
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, "", false
+			}
+			key := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, "", false
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					switch rest[j+1] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[j+1])
+					}
+					j++
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, "", false
+			}
+			labels = append(labels, [2]string{key, val.String()})
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", false
+	}
+	return name, labels, fields[0], true
+}

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Propagation headers. The router injects them into shard requests;
+// any client (examples/loadgen) may set X-Trace-Id to stitch its call
+// into a trace it owns.
+const (
+	TraceHeader = "X-Trace-Id"
+	SpanHeader  = "X-Span-Id"
+)
+
+// ID is a 64-bit trace or span identifier, rendered as 16 hex digits.
+// Identities come from a seeded IDGen, never from the wall clock, so
+// a pinned seed reproduces the same trace tree run after run.
+type ID uint64
+
+// String renders the ID as 16 lowercase hex digits.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON renders the ID as a quoted hex string.
+func (id ID) MarshalJSON() ([]byte, error) { return []byte(`"` + id.String() + `"`), nil }
+
+// UnmarshalJSON parses the quoted hex form.
+func (id *ID) UnmarshalJSON(b []byte) error {
+	s, err := strconv.Unquote(string(b))
+	if err != nil {
+		return err
+	}
+	return id.parse(s)
+}
+
+func (id *ID) parse(s string) error {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return fmt.Errorf("obs: bad id %q: %w", s, err)
+	}
+	*id = ID(v)
+	return nil
+}
+
+// ParseID parses the 16-hex-digit form.
+func ParseID(s string) (ID, error) {
+	var id ID
+	err := id.parse(s)
+	return id, err
+}
+
+// IDGen issues non-zero IDs from the house RNG. Safe for concurrent
+// use.
+type IDGen struct {
+	mu  sync.Mutex
+	src *rng.Source
+}
+
+// NewIDGen seeds a generator. Distinct labels (typically the service
+// name) decorrelate the ID streams of processes sharing a base seed.
+func NewIDGen(seed uint64, label string) *IDGen {
+	return &IDGen{src: rng.Derive(seed, "obs/ids/"+label)}
+}
+
+// ID returns the next identifier, never zero (zero means "absent").
+func (g *IDGen) ID() ID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if v := g.src.Uint64(); v != 0 {
+			return ID(v)
+		}
+	}
+}
+
+// SpanContext is the part of a span that crosses process boundaries.
+type SpanContext struct {
+	TraceID ID
+	SpanID  ID
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext extracts the current span context, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// Inject writes the span context into outbound request headers.
+func Inject(ctx context.Context, h http.Header) {
+	if sc, ok := SpanFromContext(ctx); ok {
+		h.Set(TraceHeader, sc.TraceID.String())
+		h.Set(SpanHeader, sc.SpanID.String())
+	}
+}
+
+// Extract reads a span context from inbound request headers. A bare
+// X-Trace-Id (as loadgen sends) yields a trace with no parent span.
+func Extract(h http.Header) (SpanContext, bool) {
+	t := h.Get(TraceHeader)
+	if t == "" {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if err := sc.TraceID.parse(t); err != nil || sc.TraceID == 0 {
+		return SpanContext{}, false
+	}
+	if s := h.Get(SpanHeader); s != "" {
+		sc.SpanID.parse(s) // best effort; zero means no parent
+	}
+	return sc, true
+}
+
+// Span is one completed operation in a trace, as recorded and served
+// by GET /debug/spans. Identity fields are RNG-derived; the wall-clock
+// start and duration are for display only and carry no identity.
+type Span struct {
+	TraceID  ID     `json:"trace_id"`
+	SpanID   ID     `json:"span_id"`
+	ParentID ID     `json:"parent_id,omitempty"`
+	Service  string `json:"service"`
+	Name     string `json:"name"`
+
+	StartUnixNS int64             `json:"start_unix_ns"`
+	DurationNS  int64             `json:"duration_ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Error       string            `json:"error,omitempty"`
+}
+
+// Recorder is a bounded ring buffer of completed spans. When full,
+// the oldest span is overwritten; /debug/spans is a flight recorder,
+// not an archive.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total int
+}
+
+// NewRecorder builds a recorder holding the last n spans (n ≤ 0
+// defaults to 1024).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Recorder{buf: make([]Span, 0, n)}
+}
+
+// Record appends one completed span, evicting the oldest when full.
+func (r *Recorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Spans returns the recorded spans, oldest first.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total reports how many spans were ever recorded (including evicted
+// ones).
+func (r *Recorder) Total() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Tracer starts spans for one service and records them on End. A nil
+// *Tracer is a valid no-op tracer: every method returns inert values,
+// so call sites need no nil checks and un-instrumented builds pay one
+// branch.
+type Tracer struct {
+	service string
+	ids     *IDGen
+	rec     *Recorder
+}
+
+// NewTracer builds a tracer. The service name labels every span and
+// salts the ID stream.
+func NewTracer(service string, seed uint64, bufSpans int) *Tracer {
+	return &Tracer{
+		service: service,
+		ids:     NewIDGen(seed, service),
+		rec:     NewRecorder(bufSpans),
+	}
+}
+
+// Recorder exposes the span ring buffer (nil for a nil tracer).
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// StartSpan opens a child of the context's current span (or a new
+// trace root) and returns the context carrying the new span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	sc := SpanContext{SpanID: t.ids.ID()}
+	var parent ID
+	if p, ok := SpanFromContext(ctx); ok && p.TraceID != 0 {
+		sc.TraceID, parent = p.TraceID, p.SpanID
+	} else {
+		sc.TraceID = t.ids.ID()
+	}
+	return ContextWithSpan(ctx, sc), t.active(sc, parent, name)
+}
+
+// StartFromHeaders opens a server span continuing the trace in h (or
+// a new trace when none). The remote span, if present, becomes the
+// parent.
+func (t *Tracer) StartFromHeaders(ctx context.Context, h http.Header, name string) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	sc := SpanContext{SpanID: t.ids.ID()}
+	var parent ID
+	if remote, ok := Extract(h); ok {
+		sc.TraceID, parent = remote.TraceID, remote.SpanID
+	} else {
+		sc.TraceID = t.ids.ID()
+	}
+	return ContextWithSpan(ctx, sc), t.active(sc, parent, name)
+}
+
+func (t *Tracer) active(sc SpanContext, parent ID, name string) *ActiveSpan {
+	return &ActiveSpan{
+		tracer: t,
+		start:  time.Now(),
+		span: Span{
+			TraceID:  sc.TraceID,
+			SpanID:   sc.SpanID,
+			ParentID: parent,
+			Service:  t.service,
+			Name:     name,
+		},
+	}
+}
+
+// ActiveSpan is an open span; End records it. All methods are nil-safe.
+type ActiveSpan struct {
+	tracer *Tracer
+	start  time.Time
+	mu     sync.Mutex
+	span   Span
+	done   bool
+}
+
+// Context returns the span's cross-process identity.
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.span.TraceID, SpanID: s.span.SpanID}
+}
+
+// SetAttr attaches a display-only key/value to the span.
+func (s *ActiveSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[k] = v
+}
+
+// SetError marks the span failed.
+func (s *ActiveSpan) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.span.Error = err.Error()
+}
+
+// End stamps the duration and records the span; second and later
+// calls are no-ops.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.span.StartUnixNS = s.start.UnixNano()
+	s.span.DurationNS = int64(time.Since(s.start))
+	span := s.span
+	s.mu.Unlock()
+	s.tracer.rec.Record(span)
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestIDGenDeterministicAndNonZero(t *testing.T) {
+	a := NewIDGen(42, "router")
+	b := NewIDGen(42, "router")
+	for i := 0; i < 1000; i++ {
+		x, y := a.ID(), b.ID()
+		if x != y {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, x, y)
+		}
+		if x == 0 {
+			t.Fatal("IDGen issued zero")
+		}
+	}
+	// A different label must decorrelate the stream.
+	if NewIDGen(42, "shard").ID() == NewIDGen(42, "router").ID() {
+		t.Fatal("labels do not decorrelate ID streams")
+	}
+}
+
+func TestIDJSONRoundTrip(t *testing.T) {
+	id := ID(0xdeadbeef01)
+	b, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"000000deadbeef01"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var back ID
+	if err := json.Unmarshal(b, &back); err != nil || back != id {
+		t.Fatalf("round trip: %v %v", back, err)
+	}
+}
+
+func TestHeaderInjectExtract(t *testing.T) {
+	sc := SpanContext{TraceID: 0xabc, SpanID: 0xdef}
+	h := http.Header{}
+	Inject(ContextWithSpan(context.Background(), sc), h)
+	got, ok := Extract(h)
+	if !ok || got != sc {
+		t.Fatalf("extract = %+v, %v", got, ok)
+	}
+	if _, ok := Extract(http.Header{}); ok {
+		t.Fatal("extract from empty headers succeeded")
+	}
+	// A bare trace id (loadgen's case) yields trace with no parent.
+	h2 := http.Header{}
+	h2.Set(TraceHeader, ID(7).String())
+	got2, ok := Extract(h2)
+	if !ok || got2.TraceID != 7 || got2.SpanID != 0 {
+		t.Fatalf("bare trace id: %+v, %v", got2, ok)
+	}
+}
+
+func TestTracerParentChildWithinProcess(t *testing.T) {
+	tr := NewTracer("test", 7, 16)
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := tr.StartSpan(ctx, "child")
+	child.End()
+	root.End()
+
+	spans := tr.Recorder().Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1] // child ends first
+	if c.Name != "child" || r.Name != "root" {
+		t.Fatalf("order: %q then %q", c.Name, r.Name)
+	}
+	if c.TraceID != r.TraceID {
+		t.Fatal("child not in root's trace")
+	}
+	if c.ParentID != r.SpanID {
+		t.Fatal("child's parent is not root")
+	}
+	if r.ParentID != 0 {
+		t.Fatal("root has a parent")
+	}
+}
+
+func TestTracerAcrossHeaders(t *testing.T) {
+	router := NewTracer("router", 1, 16)
+	shard := NewTracer("shard", 2, 16)
+
+	ctx, parent := router.StartSpan(context.Background(), "fanout")
+	h := http.Header{}
+	Inject(ctx, h)
+	_, server := shard.StartFromHeaders(context.Background(), h, "POST /predict")
+	server.End()
+	parent.End()
+
+	ss := shard.Recorder().Spans()
+	if len(ss) != 1 {
+		t.Fatalf("shard recorded %d spans", len(ss))
+	}
+	if ss[0].ParentID != parent.Context().SpanID || ss[0].TraceID != parent.Context().TraceID {
+		t.Fatalf("shard span %+v not a child of router span %+v", ss[0], parent.Context())
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	span.SetAttr("k", "v")
+	span.SetError(nil)
+	span.End()
+	if _, ok := SpanFromContext(ctx); ok {
+		t.Fatal("nil tracer put a span in context")
+	}
+	if tr.Recorder().Total() != 0 {
+		t.Fatal("nil recorder total")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		rec.Record(Span{SpanID: ID(i)})
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 || rec.Total() != 10 {
+		t.Fatalf("len %d total %d", len(spans), rec.Total())
+	}
+	for i, s := range spans {
+		if want := ID(i + 7); s.SpanID != want {
+			t.Fatalf("span %d = %v, want %v (oldest first)", i, s.SpanID, want)
+		}
+	}
+}
+
+func TestSpansHandlerAndTraceFilter(t *testing.T) {
+	tr := NewTracer("svc", 9, 32)
+	ctx, a := tr.StartSpan(context.Background(), "a")
+	_, a2 := tr.StartSpan(ctx, "a.child")
+	a2.End()
+	a.End()
+	_, b := tr.StartSpan(context.Background(), "b")
+	b.End()
+
+	ts := httptest.NewServer(SpansHandler(tr.Recorder()))
+	defer ts.Close()
+
+	var all SpansResponse
+	res, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(all.Spans) != 3 || all.Total != 3 {
+		t.Fatalf("got %d spans total %d", len(all.Spans), all.Total)
+	}
+
+	res, err = http.Get(ts.URL + "?trace=" + a.Context().TraceID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filtered SpansResponse
+	if err := json.NewDecoder(res.Body).Decode(&filtered); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(filtered.Spans) != 2 {
+		t.Fatalf("trace filter returned %d spans, want 2", len(filtered.Spans))
+	}
+	for _, s := range filtered.Spans {
+		if s.TraceID != a.Context().TraceID {
+			t.Fatalf("filter leaked foreign span %+v", s)
+		}
+	}
+
+	res, err = http.Get(ts.URL + "?trace=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad trace id returned %d", res.StatusCode)
+	}
+}
+
+func TestPprofHandlerServesIndex(t *testing.T) {
+	ts := httptest.NewServer(PprofHandler())
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", res.StatusCode)
+	}
+	buf := make([]byte, 4096)
+	n, _ := res.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+}

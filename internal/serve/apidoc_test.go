@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"repro/internal/doctest"
+	"repro/internal/obs"
 )
 
 // isControlPlanePath reports whether a documented path belongs to the
@@ -79,6 +80,24 @@ func TestAPIDocExamplesRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
+
+		// The prom exposition is the one documented non-JSON body: it is
+		// validated by the same linter CI runs against the live binaries.
+		if strings.Contains(ex.Path, "format=prom") {
+			status := resp.StatusCode
+			var body bytes.Buffer
+			body.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if status != ex.Status {
+				t.Errorf("%s: documented status %d, handler returned %d", name, ex.Status, status)
+				continue
+			}
+			if errs := obs.LintProm(bytes.NewReader(body.Bytes())); len(errs) > 0 {
+				t.Errorf("%s: prom exposition fails the linter: %v", name, errs)
+			}
+			continue
+		}
+
 		var payload map[string]any
 		decErr := json.NewDecoder(resp.Body).Decode(&payload)
 		resp.Body.Close()
@@ -133,6 +152,12 @@ func TestAPIDocExamplesRoundTrip(t *testing.T) {
 					t.Errorf("%s: response missing documented field %q", name, k)
 				}
 			}
+		case "/debug/spans":
+			for _, k := range []string{"total", "spans"} {
+				if _, ok := payload[k]; !ok {
+					t.Errorf("%s: response missing documented field %q", name, k)
+				}
+			}
 		}
 	}
 
@@ -140,6 +165,7 @@ func TestAPIDocExamplesRoundTrip(t *testing.T) {
 	// and the POST endpoints at least one documented failure.
 	for _, want := range []string{
 		"POST /predict", "POST /predict/batch", "POST /train", "GET /healthz", "GET /metrics",
+		"GET /metrics?format=prom", "GET /debug/spans",
 	} {
 		if !covered[want] {
 			t.Errorf("docs/API.md has no roundtrip example for %s", want)

@@ -10,6 +10,7 @@ package serve
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 // MaxBatchItems bounds one /predict/batch request. The limit exists
@@ -70,6 +71,8 @@ func (c *Core) PredictBatch(ctx context.Context, req BatchRequest) (*BatchRespon
 	c.requests.Add(int64(len(req.Requests)))
 	c.inflight.Inc()
 	defer c.inflight.Dec()
+	start := time.Now()
+	defer func() { c.batchLat.ObserveDuration(time.Since(start)) }()
 
 	resp := &BatchResponse{Items: make([]BatchItem, len(req.Requests))}
 

@@ -11,10 +11,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/patterns"
 	"repro/internal/power"
 	"repro/internal/telemetry"
@@ -125,6 +128,17 @@ type Core struct {
 	imported    *telemetry.Counter
 	queueDepth  *telemetry.Gauge
 	inflight    *telemetry.Gauge
+
+	// Per-endpoint latency distributions; predict is split by whether
+	// the LRU answered (hit) or the pool simulated (compute) — the two
+	// populations differ by orders of magnitude and averaging them
+	// hides both.
+	predictHit     *obs.Histogram
+	predictCompute *obs.Histogram
+	batchLat       *obs.Histogram
+	trainLat       *obs.Histogram
+
+	tracer *obs.Tracer
 }
 
 // NewCore builds and starts a single-node backend (its worker pool
@@ -147,17 +161,45 @@ func NewCore(cfg Config) *Core {
 		imported:    m.Counter("serve.cache.imported"),
 		queueDepth:  m.Gauge("serve.queue.depth"),
 		inflight:    m.Gauge("serve.inflight"),
+
+		predictHit:     m.Histogram("serve.predict.latency.hit"),
+		predictCompute: m.Histogram("serve.predict.latency.compute"),
+		batchLat:       m.Histogram("serve.batch.latency"),
+		trainLat:       m.Histogram("serve.train.latency"),
+
+		// Span identities come from the seeded house RNG (obs.IDGen),
+		// never the wall clock, so traces are reproducible under test.
+		tracer: obs.NewTracer("serve", obsTraceSeed, 0),
 	}
 	c.pool = newPool(cfg.Shards, cfg.QueueDepth, c.queueDepth)
 	c.registry = newRegistry(cfg.Training, m.Counter("serve.trainings"))
 	return c
 }
 
+// obsTraceSeed seeds every Core tracer's ID stream. A constant (not
+// wall clock) keeps trace trees reproducible; the service label salts
+// the stream so router and shard IDs do not collide by construction.
+const obsTraceSeed = 0x0B5C0DE
+
 // Close drains the worker pool. In-flight Predict calls finish first.
 func (c *Core) Close() { c.pool.Close() }
 
 // Metrics returns a snapshot of the serving counters and gauges.
 func (c *Core) Metrics() map[string]int64 { return c.metrics.Snapshot() }
+
+// Tracer exposes the core's span source, letting Handler run requests
+// under server spans and tests inspect the recorded trace tree.
+func (c *Core) Tracer() *obs.Tracer { return c.tracer }
+
+// Histograms returns a snapshot of the core's latency distributions,
+// kept separate from Metrics so the flat JSON map never changes shape.
+func (c *Core) Histograms() map[string]obs.HistogramSnapshot {
+	return c.metrics.HistogramSnapshots()
+}
+
+// PromMetrics returns the typed snapshot rendered by
+// GET /metrics?format=prom.
+func (c *Core) PromMetrics() obs.PromSnapshot { return c.metrics.PromSnapshot() }
 
 // CacheHitRate returns hits/(hits+misses) over the core's lifetime.
 func (c *Core) CacheHitRate() float64 { return telemetry.HitRate(c.hits, c.misses) }
@@ -200,7 +242,16 @@ func (c *Core) Predict(ctx context.Context, req PredictRequest) (*PredictRespons
 		c.failures.Inc()
 		return nil, err
 	}
-	return c.predictKeyed(ctx, res)
+	start := time.Now()
+	resp, err := c.predictKeyed(ctx, res)
+	if err == nil {
+		h := c.predictCompute
+		if resp.Cached {
+			h = c.predictHit
+		}
+		h.ObserveDuration(time.Since(start))
+	}
+	return resp, err
 }
 
 // predictKeyed is the post-validation half of Predict: cache fast
@@ -238,7 +289,15 @@ func (c *Core) predictKeyed(ctx context.Context, r Resolved) (*PredictResponse, 
 			return &resp, nil
 		}
 		c.misses.Inc()
+		// The simulation is the one genuinely expensive stretch of a
+		// request, so it gets its own span: a trace that crossed the
+		// router shows exactly which shard's worker pool paid.
+		_, span := c.tracer.StartSpan(ctx, "serve.compute")
+		span.SetAttr("pattern", r.Key.Pattern)
+		span.SetAttr("size", strconv.Itoa(r.Key.Size))
 		resp, err := c.compute(r, entry)
+		span.SetError(err)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -323,6 +382,8 @@ func (c *Core) Train(ctx context.Context, req TrainRequest) (*TrainResponse, err
 
 	c.trainMu.Lock()
 	defer c.trainMu.Unlock()
+	start := time.Now()
+	defer func() { c.trainLat.ObserveDuration(time.Since(start)) }()
 	entry, err := c.registry.Retrain(dev, dt, cfg)
 	if err != nil {
 		c.failures.Inc()

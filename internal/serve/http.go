@@ -11,9 +11,12 @@ package serve
 // apidoc_test.go).
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; every valid request is tiny.
@@ -74,10 +77,39 @@ type MetricsResponse struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
+// TracerProvider is the optional Backend capability Handler uses to
+// run POST requests under server spans and mount GET /debug/spans.
+// Core and cluster.Client implement it; a Backend without it serves
+// the same endpoints untraced (the spans list is just empty).
+type TracerProvider interface {
+	// Tracer returns the backend's span source (nil disables tracing).
+	Tracer() *obs.Tracer
+}
+
+// PromSource is the optional Backend capability behind
+// GET /metrics?format=prom: a typed snapshot (counters vs gauges vs
+// histograms) that the flat Metrics map cannot express. Backends
+// without it fall back to exposing Metrics as untyped samples.
+type PromSource interface {
+	// PromMetrics returns the typed exposition snapshot.
+	PromMetrics() obs.PromSnapshot
+}
+
+// HistogramSource is the optional Backend capability exposing latency
+// distributions for direct (transport-free) consumers; the HTTP
+// surface reaches the same data through PromSource.
+type HistogramSource interface {
+	// Histograms returns a snapshot of every named distribution.
+	Histograms() map[string]obs.HistogramSnapshot
+}
+
 // Handler adapts any Backend to the six-endpoint HTTP API — plus, for
 // backends that implement CacheMigrator (single nodes), the
-// GET /cache/export and POST /cache/import handoff pair. A Core and a
-// cluster.Client serve identical wire surfaces through it otherwise.
+// GET /cache/export and POST /cache/import handoff pair, and for
+// TracerProvider backends, tracing middleware and GET /debug/spans. A
+// Core and a cluster.Client serve identical wire surfaces through it
+// otherwise. Response bodies are unaffected by instrumentation — the
+// equivalence suites compare bytes and must not notice.
 func Handler(b Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
@@ -149,16 +181,49 @@ func Handler(b Backend) http.Handler {
 			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use GET"})
 			return
 		}
-		m := b.Metrics()
-		writeJSON(w, http.StatusOK, &MetricsResponse{
-			Metrics:      m,
-			CacheHitRate: hitRateFrom(m),
-		})
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			// The historical JSON body, byte-for-byte: the equivalence
+			// suites diff it across topologies.
+			m := b.Metrics()
+			writeJSON(w, http.StatusOK, &MetricsResponse{
+				Metrics:      m,
+				CacheHitRate: hitRateFrom(m),
+			})
+		case "prom":
+			writeProm(w, b)
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown format " + format + " (use json or prom)"})
+		}
 	})
 	if mig, ok := b.(CacheMigrator); ok {
 		mountMigrator(mux, mig)
 	}
+	if tp, ok := b.(TracerProvider); ok {
+		mux.Handle("/debug/spans", obs.SpansHandler(tp.Tracer().Recorder()))
+		return obs.TraceMiddleware(tp.Tracer(), mux)
+	}
 	return mux
+}
+
+// writeProm renders the backend's metrics in Prometheus text format —
+// typed when the backend can say which names are counters, gauges and
+// histograms, untyped flat samples otherwise.
+func writeProm(w http.ResponseWriter, b Backend) {
+	var snap obs.PromSnapshot
+	if ps, ok := b.(PromSource); ok {
+		snap = ps.PromMetrics()
+	} else {
+		snap.Gauges = b.Metrics()
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteProm(&buf, snap); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // mountMigrator adds the cache-handoff pair for backends that can

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Counter is a monotonically increasing event count, safe for
@@ -60,12 +62,17 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // HighWater returns the maximum level ever observed.
 func (g *Gauge) HighWater() int64 { return g.high.Load() }
 
-// MetricSet is a named collection of counters and gauges. The zero
-// value is ready to use.
+// MetricSet is a named collection of counters, gauges and obs
+// histograms. The zero value is ready to use. Histograms are kept out
+// of Snapshot on purpose: the flat JSON /metrics map predates them and
+// its bytes are pinned by equivalence tests, so distributions travel
+// only through HistogramSnapshots (rendered by the Prometheus
+// exposition).
 type MetricSet struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*obs.Histogram
 }
 
 // NewMetricSet returns an empty metric set.
@@ -101,6 +108,67 @@ func (m *MetricSet) Gauge(name string) *Gauge {
 		m.gauges[name] = g
 	}
 	return g
+}
+
+// Histogram returns the latency histogram with the given name
+// (observations in nanoseconds, exposed in seconds), creating it on
+// first use. The same name always returns the same histogram.
+func (m *MetricSet) Histogram(name string) *obs.Histogram {
+	return m.histogram(name, obs.NewLatencyHistogram)
+}
+
+// ValueHistogram returns the unit-less histogram with the given name
+// (sizes, widths, counts), creating it on first use.
+func (m *MetricSet) ValueHistogram(name string) *obs.Histogram {
+	return m.histogram(name, obs.NewHistogram)
+}
+
+func (m *MetricSet) histogram(name string, mk func() *obs.Histogram) *obs.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.histograms == nil {
+		m.histograms = map[string]*obs.Histogram{}
+	}
+	h, ok := m.histograms[name]
+	if !ok {
+		h = mk()
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshots returns a point-in-time copy of every histogram,
+// keyed by name. Deliberately separate from Snapshot (see MetricSet).
+func (m *MetricSet) HistogramSnapshots() map[string]obs.HistogramSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]obs.HistogramSnapshot, len(m.histograms))
+	for name, h := range m.histograms {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// PromSnapshot bundles the set's counters, gauges (level and ".max"
+// high-water entries) and histograms in the typed form the Prometheus
+// text renderer needs.
+func (m *MetricSet) PromSnapshot() obs.PromSnapshot {
+	m.mu.Lock()
+	counters := make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		counters[name] = c.Load()
+	}
+	gauges := make(map[string]int64, 2*len(m.gauges))
+	for name, g := range m.gauges {
+		gauges[name] = g.Load()
+		gauges[name+".max"] = g.HighWater()
+	}
+	m.mu.Unlock()
+	return obs.PromSnapshot{
+		Counters:   counters,
+		Gauges:     gauges,
+		Histograms: m.HistogramSnapshots(),
+	}
 }
 
 // Snapshot returns a point-in-time copy of every metric: counters under
